@@ -1,0 +1,207 @@
+// Command dvfsim runs one streaming-DVFS simulation and prints a full
+// report: energy per component, QoE, frequency residency, and radio state
+// residency.
+//
+// Usage:
+//
+//	dvfsim -governor energyaware -res 720p -title sports -net const8 \
+//	       -duration 60 -seed 1
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"videodvfs"
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/video"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dvfsim", flag.ContinueOnError)
+	var (
+		governorName = fs.String("governor", "energyaware", "governor: "+strings.Join(videodvfs.GovernorNames(), ", "))
+		device       = fs.String("device", "flagship", "device model: flagship, midrange, efficient")
+		resName      = fs.String("res", "720p", "pinned resolution (fixed ABR): 360p, 480p, 720p, 1080p")
+		titleName    = fs.String("title", "sports", "content profile: news, sports, animation")
+		net          = fs.String("net", "const8", "network: wifi, const8, lte, umts")
+		abrName      = fs.String("abr", "fixed", "ABR: fixed, rate, bba")
+		duration     = fs.Float64("duration", 60, "content length in seconds")
+		seed         = fs.Int64("seed", 1, "random seed")
+		queueCap     = fs.Int("buffer", 0, "decoded-frame buffer depth (0 = default 8)")
+		lowWater     = fs.Float64("lowwater", 0, "burst-prefetch low-water mark in seconds (0 = trickle)")
+		fastDorm     = fs.Bool("fastdormancy", false, "release the radio immediately after each burst")
+		noBackground = fs.Bool("nobackground", false, "disable the UI/OS background load")
+		tracePath    = fs.String("videotrace", "", "replay a CSV frame trace (from tracegen) instead of generating one")
+		jsonOut      = fs.Bool("json", false, "emit the result as JSON instead of the text report")
+		timelinePath = fs.String("timeline", "", "write a 100 ms time-series CSV (t_s, freq_ghz, cpu_w, buffer_s) for plotting")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := videodvfs.DefaultSession()
+	cfg.Governor = *governorName
+	cfg.ABR = *abrName
+	cfg.Net = videodvfs.NetKind(*net)
+	cfg.Duration = videodvfs.Time(*duration) * videodvfs.Second
+	cfg.Seed = *seed
+	cfg.DecodedQueueCap = *queueCap
+	cfg.LowWaterSec = *lowWater
+	cfg.Background = !*noBackground
+
+	var err error
+	if cfg.Device, err = videodvfs.DeviceByName(*device); err != nil {
+		return err
+	}
+	if cfg.Title, err = videodvfs.TitleByName(*titleName); err != nil {
+		return err
+	}
+	if cfg.Rung, err = videodvfs.ResolutionByName(*resName); err != nil {
+		return err
+	}
+	if *fastDorm {
+		rrc := netsim.DefaultUMTS()
+		if cfg.Net != videodvfs.NetUMTS {
+			rrc = netsim.DefaultLTE()
+		}
+		rrc.FastDormancy = true
+		cfg.RRC = &rrc
+	}
+
+	if *tracePath != "" {
+		f, ferr := os.Open(*tracePath)
+		if ferr != nil {
+			return ferr
+		}
+		stream, rerr := video.ReadTrace(f, video.DefaultSpec(cfg.Title, cfg.Rung))
+		if cerr := f.Close(); rerr == nil && cerr != nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return rerr
+		}
+		cfg.Trace = stream
+		cfg.Duration = 0 // derive from the trace
+	}
+
+	var timeline *csv.Writer
+	if *timelinePath != "" {
+		f, terr := os.Create(*timelinePath)
+		if terr != nil {
+			return terr
+		}
+		defer func() {
+			timeline.Flush()
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "dvfsim: close timeline:", cerr)
+			}
+		}()
+		timeline = csv.NewWriter(f)
+		if terr := timeline.Write([]string{"t_s", "freq_ghz", "cpu_w", "buffer_s"}); terr != nil {
+			return terr
+		}
+		cfg.OnSample = func(t videodvfs.Time, freqGHz, cpuW, bufferSec float64) {
+			_ = timeline.Write([]string{
+				strconv.FormatFloat(t.Seconds(), 'f', 1, 64),
+				strconv.FormatFloat(freqGHz, 'f', 3, 64),
+				strconv.FormatFloat(cpuW, 'f', 3, 64),
+				strconv.FormatFloat(bufferSec, 'f', 2, 64),
+			})
+		}
+	}
+
+	res, err := videodvfs.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return reportJSON(os.Stdout, res)
+	}
+	report(cfg, res)
+	return nil
+}
+
+// reportJSON emits the result as a flat JSON document for scripting.
+func reportJSON(w io.Writer, res videodvfs.RunResult) error {
+	doc := map[string]any{
+		"governor":        res.Governor,
+		"cpuJ":            res.CPUJ,
+		"radioJ":          res.RadioJ,
+		"displayJ":        res.DisplayJ,
+		"totalJ":          res.TotalJ(),
+		"meanFreqGHz":     res.MeanFreqGHz,
+		"simEndS":         res.SimEnd.Seconds(),
+		"completed":       res.QoE.Completed,
+		"startupS":        res.QoE.StartupDelay.Seconds(),
+		"rebufferCount":   res.QoE.RebufferCount,
+		"rebufferS":       res.QoE.RebufferTime.Seconds(),
+		"droppedFrames":   res.QoE.DroppedFrames,
+		"displayedFrames": res.QoE.DisplayedFrames,
+		"totalFrames":     res.QoE.TotalFrames,
+		"meanRungMbps":    res.QoE.MeanRungBps / 1e6,
+		"rungSwitches":    res.QoE.RungSwitches,
+		"radioPromotions": res.RadioPromotions,
+		"fetches":         res.Fetches,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func report(cfg videodvfs.RunConfig, res videodvfs.RunResult) {
+	fmt.Printf("session: %s %s %s over %s, governor=%s abr=%s seed=%d\n",
+		cfg.Device.Name, cfg.Title.Name, cfg.Rung.Name, cfg.Net, res.Governor, cfg.ABR, cfg.Seed)
+	fmt.Printf("completed=%v wall=%.1fs\n\n", res.QoE.Completed, res.SimEnd.Seconds())
+
+	fmt.Println("energy:")
+	fmt.Printf("  cpu     %8.1f J\n", res.CPUJ)
+	fmt.Printf("  radio   %8.1f J\n", res.RadioJ)
+	fmt.Printf("  display %8.1f J\n", res.DisplayJ)
+	fmt.Printf("  total   %8.1f J  (mean %.2f W)\n\n", res.TotalJ(), res.TotalJ()/res.SimEnd.Seconds())
+
+	q := res.QoE
+	fmt.Println("qoe:")
+	fmt.Printf("  startup    %6.2f s\n", q.StartupDelay.Seconds())
+	fmt.Printf("  rebuffers  %6d  (%.2f s)\n", q.RebufferCount, q.RebufferTime.Seconds())
+	fmt.Printf("  dropped    %6d / %d (%.2f%%)\n", q.DroppedFrames, q.TotalFrames, q.DropRate()*100)
+	fmt.Printf("  mean rate  %6.2f Mbps, %d switches\n\n", q.MeanRungBps/1e6, q.RungSwitches)
+
+	fmt.Printf("cpu: mean %.2f GHz, residency by OPP:\n", res.MeanFreqGHz)
+	idxs := make([]int, 0, len(res.FreqResidency))
+	for idx := range res.FreqResidency {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	for _, idx := range idxs {
+		if idx < 0 || idx >= len(cfg.Device.OPPs) {
+			continue
+		}
+		sec := res.FreqResidency[idx].Seconds()
+		fmt.Printf("  %5.0f MHz %7.1f s  %s\n", cfg.Device.OPPs[idx].FreqHz/1e6, sec,
+			strings.Repeat("#", int(40*sec/res.SimEnd.Seconds())))
+	}
+
+	fmt.Printf("\nradio: %d promotions, residency:\n", res.RadioPromotions)
+	for _, st := range []netsim.RRCState{netsim.StateDCH, netsim.StateFACH, netsim.StateIdle} {
+		fmt.Printf("  %-5s %7.1f s\n", st, res.RadioResidency[st].Seconds())
+	}
+	if res.Pred != nil && res.Pred.N > 0 {
+		fmt.Printf("\npredictor: n=%d under=%.1f%% relerr p50=%.1f%% p99=%.1f%%\n",
+			res.Pred.N, res.Pred.UnderRate()*100, res.Pred.RelErrP(50)*100, res.Pred.RelErrP(99)*100)
+	}
+}

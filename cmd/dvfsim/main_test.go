@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
+)
+
+func TestRunDefaultFlags(t *testing.T) {
+	if err := run([]string{"-duration", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllGovernorsAndNets(t *testing.T) {
+	for _, gov := range []string{"performance", "ondemand", "energyaware", "oracle"} {
+		if err := run([]string{"-governor", gov, "-duration", "5"}); err != nil {
+			t.Fatalf("%s: %v", gov, err)
+		}
+	}
+	for _, net := range []string{"wifi", "lte", "umts"} {
+		if err := run([]string{"-net", net, "-duration", "5"}); err != nil {
+			t.Fatalf("%s: %v", net, err)
+		}
+	}
+}
+
+func TestRunOptions(t *testing.T) {
+	args := []string{
+		"-governor", "energyaware", "-device", "midrange", "-res", "480p",
+		"-title", "news", "-abr", "bba", "-net", "lte", "-duration", "8",
+		"-seed", "3", "-buffer", "4", "-lowwater", "2", "-fastdormancy",
+		"-nobackground",
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-governor", "warp"},
+		{"-device", "toaster"},
+		{"-res", "9000p"},
+		{"-title", "nature"},
+		{"-net", "pigeon", "-duration", "5"},
+		{"-abr", "mpc", "-duration", "5"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v: want error", args)
+		}
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	// Write a trace in tracegen's format and replay it end to end.
+	dir := t.TempDir()
+	trace := dir + "/v.csv"
+	spec := video.DefaultSpec(video.TitleNews, video.R480p)
+	stream, err := video.Generate(spec, 5*sim.Second, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := video.WriteTrace(f, stream); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-videotrace", trace, "-res", "480p", "-title", "news"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-videotrace", dir + "/missing.csv"}); err == nil {
+		t.Fatal("want error for missing trace file")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	if err := run([]string{"-duration", "5", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimelineOutput(t *testing.T) {
+	out := t.TempDir() + "/tl.csv"
+	if err := run([]string{"-duration", "5", "-timeline", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := len(data)
+	if lines == 0 {
+		t.Fatal("empty timeline")
+	}
+	head := string(data[:30])
+	if head[:4] != "t_s," {
+		t.Fatalf("timeline header wrong: %q", head)
+	}
+}

@@ -1,0 +1,58 @@
+// Command exprun regenerates the evaluation's tables and figures.
+//
+// Usage:
+//
+//	exprun              # run every experiment
+//	exprun -list        # list experiment IDs
+//	exprun -exp f5,f6   # run selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"videodvfs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "exprun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("exprun", flag.ContinueOnError)
+	var (
+		list   = fs.Bool("list", false, "list experiment IDs and exit")
+		exp    = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		format = fs.String("format", "text", "output format: text, markdown, csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range videodvfs.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	ids := videodvfs.ExperimentIDs()
+	if *exp != "" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		tab, err := videodvfs.Experiment(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		out, err := tab.Render(*format)
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectedExperiments(t *testing.T) {
+	if err := run([]string{"-exp", "t1, f1,f2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "f99"}); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestFormats(t *testing.T) {
+	for _, format := range []string{"text", "markdown", "md", "csv"} {
+		if err := run([]string{"-exp", "t1", "-format", format}); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+	}
+	if err := run([]string{"-exp", "t1", "-format", "yaml"}); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+}

@@ -1,0 +1,112 @@
+// Command tracegen emits workload traces as CSV: per-frame video decode
+// traces (index, type, pts, bits, cycles) or piecewise-constant bandwidth
+// traces (start_s, bps).
+//
+// Usage:
+//
+//	tracegen -kind video -title sports -res 720p -duration 60 -seed 1
+//	tracegen -kind bandwidth -net lte -duration 300 -seed 1 -out lte.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		kind      = fs.String("kind", "video", "trace kind: video, bandwidth")
+		titleName = fs.String("title", "sports", "video: content profile")
+		resName   = fs.String("res", "720p", "video: resolution")
+		net       = fs.String("net", "lte", "bandwidth: lte, umts")
+		duration  = fs.Float64("duration", 60, "trace length in seconds")
+		seed      = fs.Int64("seed", 1, "random seed")
+		out       = fs.String("out", "", "output file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "tracegen: close:", cerr)
+			}
+		}()
+		w = f
+	}
+
+	dur := sim.Time(*duration) * sim.Second
+	switch *kind {
+	case "video":
+		title, err := video.TitleByName(*titleName)
+		if err != nil {
+			return err
+		}
+		res, err := video.ResolutionByName(*resName)
+		if err != nil {
+			return err
+		}
+		stream, err := video.Generate(video.DefaultSpec(title, res), dur, *seed)
+		if err != nil {
+			return err
+		}
+		return video.WriteTrace(w, stream)
+	case "bandwidth":
+		var states []netsim.MarkovState
+		switch *net {
+		case "lte":
+			states = netsim.LTEStates()
+		case "umts":
+			states = netsim.UMTSStates()
+		default:
+			return fmt.Errorf("unknown bandwidth profile %q", *net)
+		}
+		tr, err := netsim.GenMarkovTrace(states, dur, sim.Stream(*seed, "bw/"+*net))
+		if err != nil {
+			return err
+		}
+		return writeBandwidth(w, tr)
+	default:
+		return fmt.Errorf("unknown trace kind %q", *kind)
+	}
+}
+
+func writeBandwidth(w io.Writer, tr netsim.Steps) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start_s", "bps"}); err != nil {
+		return err
+	}
+	for _, st := range tr.Trace {
+		rec := []string{
+			strconv.FormatFloat(st.Start.Seconds(), 'g', 17, 64),
+			strconv.FormatFloat(st.Bps, 'g', 17, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

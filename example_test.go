@@ -1,0 +1,65 @@
+package videodvfs_test
+
+import (
+	"fmt"
+
+	"videodvfs"
+)
+
+// ExampleRun shows the minimal session: the base case under the
+// energy-aware governor. Output is deterministic because all randomness
+// derives from the configured seed.
+func ExampleRun() {
+	cfg := videodvfs.DefaultSession()
+	cfg.Duration = 20 * videodvfs.Second
+	res, err := videodvfs.Run(cfg)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("governor=%s completed=%v drops=%d rebuffers=%d\n",
+		res.Governor, res.QoE.Completed, res.QoE.DroppedFrames, res.QoE.RebufferCount)
+	fmt.Printf("cpu energy positive: %v\n", res.CPUJ > 0)
+	// Output:
+	// governor=energyaware completed=true drops=0 rebuffers=0
+	// cpu energy positive: true
+}
+
+// ExampleRun_comparison compares the policy against a stock governor on
+// identical inputs.
+func ExampleRun_comparison() {
+	base := videodvfs.DefaultSession()
+	base.Duration = 20 * videodvfs.Second
+
+	ours := base
+	ours.Governor = "energyaware"
+	stock := base
+	stock.Governor = "ondemand"
+
+	a, err := videodvfs.Run(ours)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	b, err := videodvfs.Run(stock)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("saves energy: %v, same drops: %v\n",
+		a.CPUJ < b.CPUJ, a.QoE.DroppedFrames == b.QoE.DroppedFrames)
+	// Output:
+	// saves energy: true, same drops: true
+}
+
+// ExampleExperiment regenerates one of the evaluation's tables.
+func ExampleExperiment() {
+	tab, err := videodvfs.Experiment("t1")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("id=%s columns=%d rows>0=%v\n", tab.ID, len(tab.Header), len(tab.Rows) > 0)
+	// Output:
+	// id=t1 columns=6 rows>0=true
+}

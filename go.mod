@@ -1,0 +1,3 @@
+module videodvfs
+
+go 1.22

@@ -1,0 +1,151 @@
+// Package abr implements the adaptive-bitrate algorithms the streaming
+// player can run: fixed-rung, throughput-based, and buffer-based (BBA-0
+// style). ABR choice interacts with DVFS because the selected rung sets
+// the decode demand; the evaluation shows the policy's savings hold under
+// all three.
+package abr
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is the player-side observation an algorithm decides from.
+type State struct {
+	// ThroughputBps is the player's smoothed throughput estimate.
+	ThroughputBps float64
+	// BufferSec is the media buffer level in seconds of content.
+	BufferSec float64
+	// LastRung is the rung index of the previous segment.
+	LastRung int
+	// Rates are the ladder bitrates in bps, ascending.
+	Rates []float64
+}
+
+// Algorithm selects the rung for the next segment to download.
+type Algorithm interface {
+	// Name identifies the algorithm in reports.
+	Name() string
+	// NextRung returns a valid index into s.Rates.
+	NextRung(s State) int
+}
+
+// clampRung keeps an index inside the ladder.
+func clampRung(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// Fixed always selects the same rung (used for the non-ABR experiments).
+type Fixed struct {
+	// Rung is the index to pin.
+	Rung int
+}
+
+// Name implements Algorithm.
+func (Fixed) Name() string { return "fixed" }
+
+// NextRung implements Algorithm.
+func (f Fixed) NextRung(s State) int { return clampRung(f.Rung, len(s.Rates)) }
+
+// RateBased picks the highest rung whose bitrate fits under a safety
+// fraction of estimated throughput — the classic throughput-rule ABR.
+type RateBased struct {
+	// Safety is the fraction of estimated throughput considered usable
+	// (default 0.85).
+	Safety float64
+}
+
+// NewRateBased returns a throughput-rule ABR with the standard safety
+// factor.
+func NewRateBased() RateBased { return RateBased{Safety: 0.85} }
+
+// Name implements Algorithm.
+func (RateBased) Name() string { return "rate" }
+
+// NextRung implements Algorithm.
+func (r RateBased) NextRung(s State) int {
+	if len(s.Rates) == 0 {
+		return 0
+	}
+	safety := r.Safety
+	if safety <= 0 || safety > 1 {
+		safety = 0.85
+	}
+	budget := s.ThroughputBps * safety
+	best := 0
+	for i, rate := range s.Rates {
+		if rate <= budget {
+			best = i
+		}
+	}
+	return best
+}
+
+// BufferBased is a BBA-0 style algorithm: rung is a piecewise-linear
+// function of buffer level between a reservoir and a cushion, ignoring
+// throughput except implicitly through the buffer.
+type BufferBased struct {
+	// ReservoirSec is the buffer level below which the lowest rung is
+	// forced (default 5 s).
+	ReservoirSec float64
+	// CushionSec is the buffer level above which the highest rung is
+	// allowed (default 15 s).
+	CushionSec float64
+}
+
+// NewBufferBased returns a BBA-0 with the paper-standard 5 s/15 s knees.
+func NewBufferBased() BufferBased { return BufferBased{ReservoirSec: 5, CushionSec: 15} }
+
+// Name implements Algorithm.
+func (BufferBased) Name() string { return "bba" }
+
+// NextRung implements Algorithm.
+func (b BufferBased) NextRung(s State) int {
+	n := len(s.Rates)
+	if n == 0 {
+		return 0
+	}
+	reservoir, cushion := b.ReservoirSec, b.CushionSec
+	if reservoir <= 0 {
+		reservoir = 5
+	}
+	if cushion <= reservoir {
+		cushion = reservoir + 10
+	}
+	switch {
+	case s.BufferSec <= reservoir:
+		return 0
+	case s.BufferSec >= cushion:
+		return n - 1
+	default:
+		frac := (s.BufferSec - reservoir) / (cushion - reservoir)
+		return clampRung(int(frac*float64(n)), n)
+	}
+}
+
+// New returns an algorithm by name ("fixed:<rung>" pins a rung).
+func New(name string) (Algorithm, error) {
+	switch name {
+	case "rate":
+		return NewRateBased(), nil
+	case "bba":
+		return NewBufferBased(), nil
+	case "fixed":
+		return Fixed{}, nil
+	default:
+		return nil, fmt.Errorf("abr: unknown algorithm %q", name)
+	}
+}
+
+// Names lists the built-in algorithms in report order.
+func Names() []string {
+	out := []string{"fixed", "rate", "bba"}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,16 @@
+package core
+
+import (
+	"videodvfs/internal/governor"
+	"videodvfs/internal/player"
+)
+
+// Compile-time checks: both policies plug into the cpufreq framework and
+// the player's video-aware hook surface.
+var (
+	_ governor.Governor   = (*Governor)(nil)
+	_ player.SessionHooks = (*Governor)(nil)
+	_ governor.Governor   = (*Oracle)(nil)
+	_ player.SessionHooks = (*Oracle)(nil)
+	_ player.SessionHooks = (*ClusterGovernor)(nil)
+)

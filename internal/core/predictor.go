@@ -1,0 +1,146 @@
+// Package core implements the paper's contribution: an energy-aware,
+// video-aware CPU frequency governor for mobile streaming. Instead of
+// reacting to windowed utilization like stock cpufreq governors, it
+// derives, per decoded frame, the lowest operating point that meets the
+// frame's display deadline given the decode-ahead buffer's slack and a
+// conservative demand prediction — and races to the lowest point whenever
+// the decoder is idle.
+//
+// The package also provides the offline-optimal oracle governor used as
+// the evaluation's upper bound.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"videodvfs/internal/video"
+)
+
+// PredictorKind selects the demand-prediction family (ablated in the
+// evaluation's predictor experiment).
+type PredictorKind int
+
+// Predictor families.
+const (
+	// PredictPerTypeSigma keeps per-frame-type EWMA mean and deviation
+	// and predicts mean + kσ (the paper's choice).
+	PredictPerTypeSigma PredictorKind = iota + 1
+	// PredictPerTypeMean keeps per-type means only (k = 0 ablation).
+	PredictPerTypeMean
+	// PredictGlobal keeps a single stream across all frame types.
+	PredictGlobal
+)
+
+// String returns the report label.
+func (k PredictorKind) String() string {
+	switch k {
+	case PredictPerTypeSigma:
+		return "pertype+sigma"
+	case PredictPerTypeMean:
+		return "pertype"
+	case PredictGlobal:
+		return "global"
+	default:
+		return "?"
+	}
+}
+
+// Predictor estimates the decode demand of upcoming frames from observed
+// completions. Implementations are not safe for concurrent use; the
+// simulator is single-threaded.
+type Predictor interface {
+	// Predict returns a conservative cycle estimate for a frame of type
+	// t, and false while it has no basis to predict.
+	Predict(t video.FrameType) (cycles float64, ok bool)
+	// Observe folds a measured decode demand into the model.
+	Observe(t video.FrameType, cycles float64)
+}
+
+// ewmaStat tracks an EWMA mean and an EWMA absolute deviation.
+type ewmaStat struct {
+	alpha float64
+	mean  float64
+	dev2  float64 // EWMA of squared deviation
+	init  bool
+}
+
+func (s *ewmaStat) observe(x float64) {
+	if !s.init {
+		s.mean = x
+		s.dev2 = 0
+		s.init = true
+		return
+	}
+	d := x - s.mean
+	s.mean += s.alpha * d
+	s.dev2 = s.alpha*d*d + (1-s.alpha)*s.dev2
+}
+
+func (s *ewmaStat) predict(k float64) (float64, bool) {
+	if !s.init {
+		return 0, false
+	}
+	return s.mean + k*math.Sqrt(s.dev2), true
+}
+
+// typedPredictor is the per-frame-type EWMA predictor.
+type typedPredictor struct {
+	k     float64
+	stats map[video.FrameType]*ewmaStat
+	alpha float64
+}
+
+func (p *typedPredictor) Predict(t video.FrameType) (float64, bool) {
+	st, ok := p.stats[t]
+	if !ok {
+		return 0, false
+	}
+	return st.predict(p.k)
+}
+
+func (p *typedPredictor) Observe(t video.FrameType, cycles float64) {
+	st, ok := p.stats[t]
+	if !ok {
+		st = &ewmaStat{alpha: p.alpha}
+		p.stats[t] = st
+	}
+	st.observe(cycles)
+}
+
+// globalPredictor ignores frame type.
+type globalPredictor struct {
+	k  float64
+	st ewmaStat
+}
+
+func (p *globalPredictor) Predict(video.FrameType) (float64, bool) { return p.st.predict(p.k) }
+
+func (p *globalPredictor) Observe(_ video.FrameType, cycles float64) { p.st.observe(cycles) }
+
+// NewPredictor constructs a predictor of the given kind with EWMA
+// smoothing alpha and safety factor k (σ multiplier; ignored by the
+// mean-only kinds).
+func NewPredictor(kind PredictorKind, alpha, k float64) (Predictor, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: predictor alpha %v outside (0, 1]", alpha)
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("core: negative sigma factor %v", k)
+	}
+	switch kind {
+	case PredictPerTypeSigma:
+		return &typedPredictor{k: k, alpha: alpha, stats: make(map[video.FrameType]*ewmaStat)}, nil
+	case PredictPerTypeMean:
+		return &typedPredictor{k: 0, alpha: alpha, stats: make(map[video.FrameType]*ewmaStat)}, nil
+	case PredictGlobal:
+		return &globalPredictor{k: k, st: ewmaStat{alpha: alpha}}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown predictor kind %d", kind)
+	}
+}
+
+// PredictorKinds returns all kinds in report order.
+func PredictorKinds() []PredictorKind {
+	return []PredictorKind{PredictPerTypeSigma, PredictPerTypeMean, PredictGlobal}
+}

@@ -1,0 +1,374 @@
+package cpu
+
+import (
+	"fmt"
+
+	"videodvfs/internal/sim"
+)
+
+// Priority orders queued jobs; lower values run first. Within a priority,
+// jobs run FIFO. Execution is non-preemptive, as with small CFS timeslices
+// and the millisecond-scale jobs this model uses.
+type Priority int
+
+// Job priorities used by the streaming pipeline.
+const (
+	// PrioDecode is for frame-decode jobs (latency critical).
+	PrioDecode Priority = iota
+	// PrioNetwork is for network-stack processing of received data.
+	PrioNetwork
+	// PrioBackground is for player UI and OS housekeeping work.
+	PrioBackground
+)
+
+// Job is a unit of CPU work measured in cycles.
+type Job struct {
+	// Cycles is the demand; must be positive.
+	Cycles float64
+	// Priority selects the queue (see Priority).
+	Priority Priority
+	// Tag labels the job in accounting (e.g. "decode", "net").
+	Tag string
+	// OnStart, if set, runs when the job begins executing.
+	OnStart func(now sim.Time)
+	// OnDone, if set, runs when the job completes.
+	OnDone func(now sim.Time)
+}
+
+type runningJob struct {
+	job       *Job
+	remaining float64
+	resumedAt sim.Time
+}
+
+// Core is a single execution core in a frequency domain. It is the only
+// entity that consumes CPU power in the model; governors steer it through
+// SetOPP, workloads feed it through Submit.
+type Core struct {
+	eng   *sim.Engine
+	model Model
+
+	oppIdx  int
+	capIdx  int // highest OPP currently allowed (thermal throttling)
+	queues  [PrioBackground + 1][]*Job
+	current *runningJob
+	doneEv  *sim.Event
+	// stallUntil is the end of an in-flight DVFS transition stall.
+	stallUntil sim.Time
+
+	totalBusy   sim.Time
+	busySince   sim.Time
+	busy        bool
+	cyclesByTag map[string]float64
+
+	onPower     func(now sim.Time, watts float64)
+	onOPP       func(now sim.Time, idx int)
+	onBusy      func(now sim.Time, busy bool)
+	freqDwell   map[int]sim.Time
+	lastDwell   sim.Time
+	transitions int
+
+	// cpuidle model (nil unless EnableCStates was called).
+	idle         *idleGovernor
+	idleStateIdx int
+	idleSince    sim.Time
+	idleDwell    map[string]sim.Time
+}
+
+// NewCore returns a core for the given model, parked at the lowest OPP.
+func NewCore(eng *sim.Engine, model Model) (*Core, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		eng:         eng,
+		model:       model,
+		capIdx:      model.MaxIdx(),
+		cyclesByTag: make(map[string]float64),
+		freqDwell:   make(map[int]sim.Time),
+	}
+	return c, nil
+}
+
+// Model returns the device model the core runs.
+func (c *Core) Model() Model { return c.model }
+
+// OPP returns the current OPP index.
+func (c *Core) OPP() int { return c.oppIdx }
+
+// FreqHz returns the current clock in Hz.
+func (c *Core) FreqHz() float64 { return c.model.OPPs[c.oppIdx].FreqHz }
+
+// Busy reports whether a job is executing now.
+func (c *Core) Busy() bool { return c.busy }
+
+// QueueLen returns the number of queued (not running) jobs.
+func (c *Core) QueueLen() int {
+	n := 0
+	for _, q := range c.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// OnPower registers the power-change listener (at most one; the energy
+// meter). It is invoked immediately with the current draw.
+func (c *Core) OnPower(fn func(now sim.Time, watts float64)) {
+	c.onPower = fn
+	c.emitPower()
+}
+
+// OnOPPChange registers a listener for OPP changes (residency tracking).
+func (c *Core) OnOPPChange(fn func(now sim.Time, idx int)) { c.onOPP = fn }
+
+// OnBusyChange registers a listener for busy/idle transitions.
+func (c *Core) OnBusyChange(fn func(now sim.Time, busy bool)) { c.onBusy = fn }
+
+// Power returns the current draw in watts.
+func (c *Core) Power() float64 {
+	opp := c.model.OPPs[c.oppIdx]
+	if c.busy {
+		return opp.ActiveW
+	}
+	if c.idle != nil {
+		return opp.IdleW * c.idle.states[c.idleStateIdx].PowerFrac
+	}
+	return opp.IdleW
+}
+
+func (c *Core) emitPower() {
+	if c.onPower != nil {
+		c.onPower(c.eng.Now(), c.Power())
+	}
+}
+
+// BusyTime returns cumulative busy seconds including any in-flight job.
+func (c *Core) BusyTime() sim.Time {
+	t := c.totalBusy
+	if c.busy {
+		t += c.eng.Now() - c.busySince
+	}
+	return t
+}
+
+// CyclesByTag returns cumulative completed cycles grouped by job tag.
+func (c *Core) CyclesByTag() map[string]float64 {
+	out := make(map[string]float64, len(c.cyclesByTag))
+	for k, v := range c.cyclesByTag {
+		out[k] = v
+	}
+	return out
+}
+
+// Transitions returns the number of OPP changes so far.
+func (c *Core) Transitions() int { return c.transitions }
+
+// FreqResidency returns seconds spent at each OPP index so far.
+func (c *Core) FreqResidency() map[int]sim.Time {
+	out := make(map[int]sim.Time, len(c.freqDwell))
+	for k, v := range c.freqDwell {
+		out[k] = v
+	}
+	out[c.oppIdx] += c.eng.Now() - c.lastDwell
+	return out
+}
+
+// Submit enqueues a job. Jobs with non-positive cycles complete
+// immediately.
+func (c *Core) Submit(j *Job) error {
+	if j == nil {
+		return fmt.Errorf("cpu: nil job")
+	}
+	if j.Priority < PrioDecode || j.Priority > PrioBackground {
+		return fmt.Errorf("cpu: job %q has invalid priority %d", j.Tag, j.Priority)
+	}
+	if j.Cycles <= 0 {
+		now := c.eng.Now()
+		if j.OnStart != nil {
+			j.OnStart(now)
+		}
+		if j.OnDone != nil {
+			j.OnDone(now)
+		}
+		return nil
+	}
+	c.queues[j.Priority] = append(c.queues[j.Priority], j)
+	if !c.busy {
+		c.dispatch()
+	}
+	return nil
+}
+
+// SetOPPCap limits the highest OPP the domain may run at (thermal
+// throttling). If the core currently runs above the cap it is forced down
+// immediately. Passing the table's maximum removes the cap.
+func (c *Core) SetOPPCap(idx int) {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > c.model.MaxIdx() {
+		idx = c.model.MaxIdx()
+	}
+	c.capIdx = idx
+	if c.oppIdx > idx {
+		c.SetOPP(idx)
+	}
+}
+
+// OPPCap returns the current throttling cap (the table maximum when
+// unthrottled).
+func (c *Core) OPPCap() int { return c.capIdx }
+
+// SetOPP switches the frequency domain to OPP index idx (clamped to the
+// table and the throttling cap). If a job is mid-flight its completion is
+// recomputed with the remaining cycles, plus the model's transition stall.
+func (c *Core) SetOPP(idx int) {
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > c.capIdx {
+		idx = c.capIdx
+	}
+	if idx == c.oppIdx {
+		return
+	}
+	now := c.eng.Now()
+	c.freqDwell[c.oppIdx] += now - c.lastDwell
+	c.lastDwell = now
+	c.transitions++
+	if c.current != nil {
+		// Charge cycles retired so far at the old frequency, then
+		// restart the remainder at the new one after the stall.
+		elapsed := now - c.current.resumedAt
+		c.current.remaining -= elapsed.Seconds() * c.FreqHz()
+		if c.current.remaining < 0 {
+			c.current.remaining = 0
+		}
+		c.oppIdx = idx
+		c.stallUntil = now + c.model.TransitionLatency
+		c.current.resumedAt = c.stallUntil
+		c.rearmCompletion()
+	} else {
+		c.oppIdx = idx
+	}
+	if c.onOPP != nil {
+		c.onOPP(now, idx)
+	}
+	c.emitPower()
+}
+
+// SetFreq switches to the lowest OPP with frequency ≥ hz.
+func (c *Core) SetFreq(hz float64) { c.SetOPP(c.model.IdxForFreq(hz)) }
+
+func (c *Core) rearmCompletion() {
+	if c.doneEv != nil {
+		c.eng.Cancel(c.doneEv)
+	}
+	finish := c.current.resumedAt + sim.Time(c.current.remaining/c.FreqHz())
+	c.doneEv = c.eng.At(finish, c.complete)
+}
+
+func (c *Core) dispatch() {
+	var next *Job
+	for p := range c.queues {
+		if len(c.queues[p]) > 0 {
+			next = c.queues[p][0]
+			c.queues[p] = c.queues[p][1:]
+			break
+		}
+	}
+	if next == nil {
+		if c.busy {
+			now := c.eng.Now()
+			c.totalBusy += now - c.busySince
+			c.busy = false
+			if c.idle != nil {
+				// Enter the C-state the menu governor selects.
+				c.idleStateIdx = c.idle.pick()
+				c.idleSince = now
+			}
+			if c.onBusy != nil {
+				c.onBusy(now, false)
+			}
+			c.emitPower()
+		}
+		return
+	}
+	now := c.eng.Now()
+	if !c.busy {
+		if c.idle != nil {
+			// Wake from the C-state: score the prediction and pay the
+			// exit latency before the job may start.
+			st := c.idle.states[c.idleStateIdx]
+			idleDur := now - c.idleSince
+			c.idle.observe(idleDur)
+			if c.idleDwell == nil {
+				c.idleDwell = make(map[string]sim.Time)
+			}
+			c.idleDwell[st.Name] += idleDur
+			if wake := now + st.ExitLatency; wake > c.stallUntil {
+				c.stallUntil = wake
+			}
+		}
+		c.busy = true
+		c.busySince = now
+		if c.onBusy != nil {
+			c.onBusy(now, true)
+		}
+		c.emitPower()
+	}
+	start := now
+	if c.stallUntil > start {
+		start = c.stallUntil
+	}
+	c.current = &runningJob{job: next, remaining: next.Cycles, resumedAt: start}
+	if next.OnStart != nil {
+		next.OnStart(now)
+	}
+	c.rearmCompletion()
+}
+
+func (c *Core) complete() {
+	job := c.current.job
+	c.cyclesByTag[job.Tag] += job.Cycles
+	c.current = nil
+	c.doneEv = nil
+	if job.OnDone != nil {
+		job.OnDone(c.eng.Now())
+	}
+	c.dispatch()
+}
+
+// UtilSampler computes windowed utilization the way cpufreq samplers do:
+// the fraction of wall time the core was busy since the previous sample.
+type UtilSampler struct {
+	core     *Core
+	lastBusy sim.Time
+	lastAt   sim.Time
+}
+
+// NewUtilSampler returns a sampler anchored at the current time.
+func NewUtilSampler(core *Core) *UtilSampler {
+	return &UtilSampler{core: core, lastBusy: core.BusyTime(), lastAt: core.eng.Now()}
+}
+
+// Sample returns utilization in [0, 1] over the window since the last
+// call (or construction) and re-anchors the window.
+func (s *UtilSampler) Sample(now sim.Time) float64 {
+	busy := s.core.BusyTime()
+	dt := now - s.lastAt
+	db := busy - s.lastBusy
+	s.lastAt = now
+	s.lastBusy = busy
+	if dt <= 0 {
+		return 0
+	}
+	u := float64(db / dt)
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,43 @@
+package cpu
+
+import (
+	"testing"
+
+	"videodvfs/internal/sim"
+)
+
+// BenchmarkCoreJobThroughput measures job dispatch + completion cost.
+func BenchmarkCoreJobThroughput(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		core, err := NewCore(eng, DeviceFlagship())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 1000; j++ {
+			if err := core.Submit(&Job{Cycles: 1e6, Tag: "b"}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkCoreDVFSChurn measures OPP-change cost with a job in flight
+// (the energy-aware governor switches per frame).
+func BenchmarkCoreDVFSChurn(b *testing.B) {
+	eng := sim.NewEngine()
+	core, err := NewCore(eng, DeviceFlagship())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := core.Submit(&Job{Cycles: 1e18, Tag: "b"}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SetOPP(i % len(core.Model().OPPs))
+	}
+}

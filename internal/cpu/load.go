@@ -1,0 +1,106 @@
+package cpu
+
+import (
+	"fmt"
+
+	"videodvfs/internal/sim"
+)
+
+// LoadGen submits periodic background jobs to a core, modelling player UI
+// updates, audio mixing, and OS housekeeping that share the CPU with the
+// decoder. Job sizes are lognormal around a mean with the given CV, and
+// periods are jittered ±20% so the load does not phase-lock with frames.
+type LoadGen struct {
+	eng    *sim.Engine
+	core   *Core
+	rng    *sim.RNG
+	period sim.Time
+	meanCy float64
+	cv     float64
+	prio   Priority
+	tag    string
+	stop   bool
+	subErr error
+}
+
+// LoadGenConfig configures a background load generator.
+type LoadGenConfig struct {
+	// Period is the mean inter-arrival of background jobs.
+	Period sim.Time
+	// MeanCycles is the mean job demand.
+	MeanCycles float64
+	// CV is the coefficient of variation of job demand.
+	CV float64
+	// Priority of the submitted jobs; defaults to PrioBackground.
+	Priority Priority
+	// Tag labels the jobs in CPU accounting; defaults to "background".
+	Tag string
+}
+
+// DefaultLoadGenConfig is a light UI/OS load: ≈0.5 M cycles every 50 ms
+// (~1% of a 1 GHz core).
+func DefaultLoadGenConfig() LoadGenConfig {
+	return LoadGenConfig{
+		Period:     50 * sim.Millisecond,
+		MeanCycles: 0.5e6,
+		CV:         0.5,
+		Priority:   PrioBackground,
+		Tag:        "background",
+	}
+}
+
+// Validate checks the configuration.
+func (c LoadGenConfig) Validate() error {
+	if c.Period <= 0 {
+		return fmt.Errorf("loadgen: period %v not positive", c.Period)
+	}
+	if c.MeanCycles <= 0 {
+		return fmt.Errorf("loadgen: mean cycles %v not positive", c.MeanCycles)
+	}
+	if c.CV < 0 {
+		return fmt.Errorf("loadgen: negative CV %v", c.CV)
+	}
+	return nil
+}
+
+// StartLoadGen begins submitting jobs immediately and until Stop.
+func StartLoadGen(eng *sim.Engine, core *Core, rng *sim.RNG, cfg LoadGenConfig) (*LoadGen, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tag == "" {
+		cfg.Tag = "background"
+	}
+	g := &LoadGen{
+		eng:    eng,
+		core:   core,
+		rng:    rng,
+		period: cfg.Period,
+		meanCy: cfg.MeanCycles,
+		cv:     cfg.CV,
+		prio:   cfg.Priority,
+		tag:    cfg.Tag,
+	}
+	g.arm()
+	return g, nil
+}
+
+func (g *LoadGen) arm() {
+	jitter := sim.Time(g.rng.Uniform(0.8, 1.2))
+	g.eng.Schedule(g.period*jitter, func() {
+		if g.stop {
+			return
+		}
+		cycles := g.rng.LognormalMeanCV(g.meanCy, g.cv)
+		if err := g.core.Submit(&Job{Cycles: cycles, Priority: g.prio, Tag: g.tag}); err != nil && g.subErr == nil {
+			g.subErr = err
+		}
+		g.arm()
+	})
+}
+
+// Stop halts job submission.
+func (g *LoadGen) Stop() { g.stop = true }
+
+// Err returns the first submission error, if any.
+func (g *LoadGen) Err() error { return g.subErr }

@@ -1,0 +1,211 @@
+// Package decode models the player's decode-ahead worker: it pulls coded
+// frames in presentation order, runs each as a CPU job, and parks decoded
+// frames in a bounded output queue ahead of the display. The bounded queue
+// is the slack store the energy-aware DVFS policy exploits.
+package decode
+
+import (
+	"fmt"
+
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
+)
+
+// Hooks receives decoder lifecycle callbacks. The energy-aware governor
+// implements this to observe demand and deadlines; all callbacks are
+// optional-free (implementations may no-op).
+//
+// Governors must treat the frame's Cycles field as hidden (only the oracle
+// reads it); measuredCycles in DecodeEnd is legitimate feedback, as a real
+// integration derives it from thread CPU time × frequency.
+type Hooks interface {
+	// DecodeStart fires when a frame's decode job is issued, carrying the
+	// frame's display deadline and the decoded-queue occupancy — the two
+	// inputs of deadline- and slack-driven frequency selection.
+	DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, ready, queueCap int)
+	// DecodeEnd fires when a frame finishes decoding.
+	DecodeEnd(now sim.Time, f video.Frame, deadline sim.Time, measuredCycles float64)
+	// DecoderIdle fires when the decoder has nothing runnable (input
+	// empty or output queue full) — the race-to-idle opportunity.
+	DecoderIdle(now sim.Time)
+}
+
+// Submitter runs CPU jobs — a single core or a big.LITTLE cluster router.
+type Submitter interface {
+	// Submit enqueues the job for execution.
+	Submit(j *cpu.Job) error
+}
+
+// NopHooks is an embeddable no-op Hooks implementation.
+type NopHooks struct{}
+
+// DecodeStart implements Hooks.
+func (NopHooks) DecodeStart(sim.Time, video.Frame, sim.Time, int, int) {}
+
+// DecodeEnd implements Hooks.
+func (NopHooks) DecodeEnd(sim.Time, video.Frame, sim.Time, float64) {}
+
+// DecoderIdle implements Hooks.
+func (NopHooks) DecoderIdle(sim.Time) {}
+
+var _ Hooks = NopHooks{}
+
+// Counts summarizes decoder work.
+type Counts struct {
+	// Decoded frames completed (including later-discarded ones).
+	Decoded int
+	// Discarded frames that finished decoding after their display slot
+	// was already skipped (wasted work).
+	Discarded int
+	// Skipped frames dropped from the input before decoding because
+	// their display slot had passed.
+	Skipped int
+}
+
+// Decoder is the decode-ahead worker. It is driven entirely by the event
+// loop: Push feeds it, the display pops from it.
+type Decoder struct {
+	eng  *sim.Engine
+	core Submitter
+	cap  int
+
+	pending  []video.Frame
+	ready    []video.Frame
+	inFlight bool
+
+	discardBelow int
+	deadlineOf   func(f video.Frame) sim.Time
+	hooks        Hooks
+	onReady      func(f video.Frame)
+
+	counts Counts
+	subErr error
+}
+
+// New returns a decoder with the given decoded-frame queue capacity.
+// deadlineOf must return the frame's current scheduled display time; it is
+// consulted at decode start so stalls that shift the timeline are
+// reflected. hooks may be nil.
+func New(eng *sim.Engine, core Submitter, queueCap int, deadlineOf func(f video.Frame) sim.Time, hooks Hooks) (*Decoder, error) {
+	if queueCap < 1 {
+		return nil, fmt.Errorf("decode: queue capacity %d < 1", queueCap)
+	}
+	if deadlineOf == nil {
+		return nil, fmt.Errorf("decode: deadlineOf is required")
+	}
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	return &Decoder{eng: eng, core: core, cap: queueCap, deadlineOf: deadlineOf, hooks: hooks}, nil
+}
+
+// OnReady registers a callback invoked when a frame lands in the decoded
+// queue (the display uses it to wake from stalls).
+func (d *Decoder) OnReady(fn func(f video.Frame)) { d.onReady = fn }
+
+// Push appends a coded frame to the decode input in presentation order.
+func (d *Decoder) Push(f video.Frame) {
+	d.pending = append(d.pending, f)
+	d.maybeStart()
+}
+
+// ReadyLen returns the decoded-queue depth.
+func (d *Decoder) ReadyLen() int { return len(d.ready) }
+
+// PendingLen returns the coded input backlog.
+func (d *Decoder) PendingLen() int { return len(d.pending) }
+
+// InFlight reports whether a decode job is executing.
+func (d *Decoder) InFlight() bool { return d.inFlight }
+
+// Cap returns the decoded-queue capacity.
+func (d *Decoder) Cap() int { return d.cap }
+
+// Counts returns the work summary so far.
+func (d *Decoder) Counts() Counts { return d.counts }
+
+// Err returns the first CPU submission error, if any.
+func (d *Decoder) Err() error { return d.subErr }
+
+// Ready reports whether frame idx is at the head of the decoded queue.
+func (d *Decoder) Ready(idx int) bool {
+	return len(d.ready) > 0 && d.ready[0].Index == idx
+}
+
+// Pop removes and returns frame idx if it heads the decoded queue.
+func (d *Decoder) Pop(idx int) (video.Frame, bool) {
+	if !d.Ready(idx) {
+		return video.Frame{}, false
+	}
+	f := d.ready[0]
+	d.ready = d.ready[1:]
+	d.maybeStart()
+	return f, true
+}
+
+// DiscardBelow drops all frames with Index < idx: queued decoded frames
+// are removed, pending frames are skipped before decoding, and an
+// in-flight frame is discarded at completion. The display calls this when
+// it skips late frames.
+func (d *Decoder) DiscardBelow(idx int) {
+	if idx <= d.discardBelow {
+		return
+	}
+	d.discardBelow = idx
+	kept := d.ready[:0]
+	for _, f := range d.ready {
+		if f.Index >= idx {
+			kept = append(kept, f)
+		} else {
+			d.counts.Discarded++
+		}
+	}
+	d.ready = kept
+	d.maybeStart()
+}
+
+func (d *Decoder) maybeStart() {
+	if d.inFlight {
+		return
+	}
+	// Skip input frames whose slot already passed.
+	for len(d.pending) > 0 && d.pending[0].Index < d.discardBelow {
+		d.pending = d.pending[1:]
+		d.counts.Skipped++
+	}
+	if len(d.pending) == 0 || len(d.ready) >= d.cap {
+		d.hooks.DecoderIdle(d.eng.Now())
+		return
+	}
+	f := d.pending[0]
+	d.pending = d.pending[1:]
+	d.inFlight = true
+	deadline := d.deadlineOf(f)
+	d.hooks.DecodeStart(d.eng.Now(), f, deadline, len(d.ready), d.cap)
+	err := d.core.Submit(&cpu.Job{
+		Cycles:   f.Cycles,
+		Priority: cpu.PrioDecode,
+		Tag:      "decode",
+		OnDone: func(now sim.Time) {
+			d.inFlight = false
+			d.counts.Decoded++
+			d.hooks.DecodeEnd(now, f, deadline, f.Cycles)
+			if f.Index < d.discardBelow {
+				d.counts.Discarded++
+			} else {
+				d.ready = append(d.ready, f)
+				if d.onReady != nil {
+					d.onReady(f)
+				}
+			}
+			d.maybeStart()
+		},
+	})
+	if err != nil {
+		d.inFlight = false
+		if d.subErr == nil {
+			d.subErr = err
+		}
+	}
+}

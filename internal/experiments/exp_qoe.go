@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videodvfs/internal/sim"
+)
+
+// qoeGovernors is the policy set for the QoE table.
+func qoeGovernors() []string {
+	return []string{"performance", "ondemand", "interactive", "energyaware", "oracle"}
+}
+
+// TableT2 reproduces Table 2: the QoE summary per policy on a variable
+// LTE link with buffer-based ABR.
+func TableT2() (Table, error) {
+	t := Table{
+		ID:     "t2",
+		Title:  "QoE summary per policy (LTE Markov trace, BBA ABR, 120 s sports)",
+		Header: []string{"governor", "startup_s", "rebuffers", "rebuf_s", "drops", "mean_mbps", "switches", "cpu_j"},
+		Notes:  "the energy-aware policy matches performance on every QoE column while cutting CPU energy",
+	}
+	for _, gov := range qoeGovernors() {
+		cfg := DefaultRunConfig()
+		cfg.Governor = gov
+		cfg.Net = NetLTE
+		cfg.ABR = "bba"
+		cfg.Duration = 120 * sim.Second
+		res, err := Run(cfg)
+		if err != nil {
+			return Table{}, fmt.Errorf("t2 %s: %w", gov, err)
+		}
+		q := res.QoE
+		t.Rows = append(t.Rows, []string{
+			gov,
+			f2c(q.StartupDelay.Seconds()),
+			iv(q.RebufferCount),
+			f2c(q.RebufferTime.Seconds()),
+			iv(q.DroppedFrames),
+			f2c(q.MeanRungBps / 1e6),
+			iv(q.RungSwitches),
+			f1(res.CPUJ),
+		})
+	}
+	return t, nil
+}
+
+// FigF13 reproduces Figure 13: ABR × governor interaction on the LTE
+// trace.
+func FigF13() (Table, error) {
+	t := Table{
+		ID:     "f13",
+		Title:  "ABR interaction (LTE trace, 120 s): energy and QoE by ABR × governor",
+		Header: []string{"abr", "governor", "cpu_j", "mean_mbps", "rebuf_s", "drops"},
+		Notes:  "savings hold under every ABR; BBA + energy-aware gives the best joint energy/QoE",
+	}
+	for _, abrName := range []string{"rate", "bba"} {
+		for _, gov := range []string{"ondemand", "interactive", "energyaware"} {
+			cfg := DefaultRunConfig()
+			cfg.Governor = gov
+			cfg.Net = NetLTE
+			cfg.ABR = abrName
+			cfg.Duration = 120 * sim.Second
+			res, err := Run(cfg)
+			if err != nil {
+				return Table{}, fmt.Errorf("f13 %s/%s: %w", abrName, gov, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				abrName, gov, f1(res.CPUJ),
+				f2c(res.QoE.MeanRungBps / 1e6),
+				f2c(res.QoE.RebufferTime.Seconds()),
+				iv(res.QoE.DroppedFrames),
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,419 @@
+// Package experiments assembles full simulation runs and regenerates every
+// table and figure of the (reconstructed) evaluation. Each experiment has
+// an ID (t1, f1, …), a builder function returning a formatted Table, and a
+// benchmark in the repository root that prints the same rows.
+package experiments
+
+import (
+	"fmt"
+
+	"videodvfs/internal/abr"
+	"videodvfs/internal/core"
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/energy"
+	"videodvfs/internal/governor"
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/player"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
+)
+
+// NetKind selects the bandwidth model of a run.
+type NetKind string
+
+// Built-in network profiles.
+const (
+	// NetWiFi is a steady 30 Mbps link.
+	NetWiFi NetKind = "wifi"
+	// NetLTE is a Markov-modulated LTE trace (≈12 Mbps mean).
+	NetLTE NetKind = "lte"
+	// NetUMTS is a Markov-modulated 3G trace (≈2.5 Mbps mean).
+	NetUMTS NetKind = "umts"
+	// NetConst8 is a constant 8 Mbps link (enough for the top rung).
+	NetConst8 NetKind = "const8"
+)
+
+// NetKinds returns the profiles in report order.
+func NetKinds() []NetKind { return []NetKind{NetWiFi, NetConst8, NetLTE, NetUMTS} }
+
+// RunConfig describes one streaming simulation.
+type RunConfig struct {
+	// Device is the CPU model (DeviceFlagship if zero).
+	Device cpu.Model
+	// Governor is a cpufreq name, "energyaware", or "oracle".
+	Governor string
+	// Policy tunes the energy-aware governor (DefaultConfig if zero).
+	Policy core.Config
+	// Title is the content profile (TitleSports default: the demanding
+	// case).
+	Title video.Title
+	// Rung pins a single rendition by resolution when ABR is "" or
+	// "fixed".
+	Rung video.Resolution
+	// ABR names the adaptation algorithm ("", "fixed", "rate", "bba").
+	ABR string
+	// Net selects the bandwidth profile.
+	Net NetKind
+	// RRC configures the radio (DefaultUMTS for NetUMTS, DefaultLTE
+	// otherwise, if zero).
+	RRC *netsim.RRCConfig
+	// Duration is the content length.
+	Duration sim.Time
+	// Seed drives all stochastic inputs.
+	Seed int64
+	// DecodedQueueCap overrides the player's decode-ahead depth (0 =
+	// default 8).
+	DecodedQueueCap int
+	// LowWaterSec enables the player's burst-prefetch hysteresis (see
+	// player.Config.LowWaterSec).
+	LowWaterSec float64
+	// Thermal, if set, attaches the RC thermal model + throttler.
+	Thermal *cpu.ThermalConfig
+	// CStates enables the cpuidle model (menu governor over the default
+	// three-state ladder).
+	CStates bool
+	// Codec selects the decode model by name ("" = h264, "hevc").
+	Codec string
+	// LowLatency switches the player to live-streaming thresholds
+	// (1 s startup, 0.5 s resume, 4 s buffer, 3-frame decode-ahead).
+	LowLatency bool
+	// SegmentDur overrides the media segment duration (0 = 2 s).
+	SegmentDur sim.Time
+	// Background enables the UI/OS load generator (default on via
+	// DefaultRunConfig).
+	Background bool
+	// FPS overrides the frame rate (0 = 30).
+	FPS float64
+	// Trace, if set, replays this exact frame stream instead of
+	// generating one (single rendition, fixed ABR). Load one with
+	// video.ReadTrace or build it programmatically.
+	Trace *video.Stream
+	// OnSample, if set, receives a time-series sample every 100 ms of
+	// virtual time: CPU frequency, CPU power, media buffer level. Used by
+	// dvfsim's -timeline output for plotting.
+	OnSample func(t sim.Time, freqGHz, cpuW, bufferSec float64)
+}
+
+// DefaultRunConfig returns the evaluation's base case: flagship device,
+// sports content pinned at 720p, constant 8 Mbps link, background load on,
+// 60 s of content.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Device:     cpu.DeviceFlagship(),
+		Governor:   "energyaware",
+		Policy:     core.DefaultConfig(),
+		Title:      video.TitleSports,
+		Rung:       video.R720p,
+		ABR:        "fixed",
+		Net:        NetConst8,
+		Duration:   60 * sim.Second,
+		Seed:       1,
+		Background: true,
+	}
+}
+
+// RunResult is the outcome of one simulation.
+type RunResult struct {
+	// Governor is the policy that ran.
+	Governor string
+	// CPUJ, RadioJ, DisplayJ are per-component energies in joules.
+	CPUJ, RadioJ, DisplayJ float64
+	// QoE is the player's metric report.
+	QoE player.Metrics
+	// MeanFreqGHz is the time-weighted mean CPU frequency.
+	MeanFreqGHz float64
+	// FreqResidency maps OPP index to seconds.
+	FreqResidency map[int]sim.Time
+	// RadioResidency maps RRC state to seconds.
+	RadioResidency map[netsim.RRCState]sim.Time
+	// RadioPromotions counts IDLE/FACH→DCH promotions.
+	RadioPromotions int
+	// Fetches is the number of completed segment downloads.
+	Fetches int
+	// Pred is the predictor accuracy report (energy-aware runs only).
+	Pred *core.PredictionStats
+	// MaxTempC, ThrottleEvents, ThrottledS report the thermal model
+	// (zero when Thermal is unset).
+	MaxTempC       float64
+	ThrottleEvents int
+	ThrottledS     float64
+	// IdleResidency maps C-state name to seconds (nil unless CStates).
+	IdleResidency map[string]sim.Time
+	// OPPTransitions counts DVFS switches over the run.
+	OPPTransitions int
+	// SimEnd is the virtual time the run finished at.
+	SimEnd sim.Time
+}
+
+// TotalJ returns whole-device energy.
+func (r RunResult) TotalJ() float64 { return r.CPUJ + r.RadioJ + r.DisplayJ }
+
+// buildGovernor returns the governor plus, when video-aware, its session
+// hooks.
+func buildGovernor(cfg RunConfig) (governor.Governor, player.SessionHooks, *core.Governor, error) {
+	switch cfg.Governor {
+	case "energyaware":
+		pol := cfg.Policy
+		if pol == (core.Config{}) {
+			pol = core.DefaultConfig()
+		}
+		g, err := core.New(pol)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return g, g, g, nil
+	case "oracle":
+		o := core.NewOracle()
+		return o, o, nil, nil
+	default:
+		g, err := governor.New(cfg.Governor)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return g, nil, nil, nil
+	}
+}
+
+func buildBandwidth(cfg RunConfig) (netsim.Bandwidth, netsim.RRCConfig, error) {
+	rrc := netsim.DefaultLTE()
+	var bw netsim.Bandwidth
+	switch cfg.Net {
+	case NetWiFi, "":
+		bw = netsim.WiFiSteady()
+	case NetConst8:
+		bw = netsim.Constant{Bps: 8e6}
+	case NetLTE:
+		tr, err := netsim.GenMarkovTrace(netsim.LTEStates(), cfg.Duration*4, sim.Stream(cfg.Seed, "bw/lte"))
+		if err != nil {
+			return nil, rrc, err
+		}
+		bw = tr
+	case NetUMTS:
+		tr, err := netsim.GenMarkovTrace(netsim.UMTSStates(), cfg.Duration*4, sim.Stream(cfg.Seed, "bw/umts"))
+		if err != nil {
+			return nil, rrc, err
+		}
+		bw = tr
+		rrc = netsim.DefaultUMTS()
+	default:
+		return nil, rrc, fmt.Errorf("experiments: unknown network kind %q", cfg.Net)
+	}
+	if cfg.RRC != nil {
+		rrc = *cfg.RRC
+	}
+	return bw, rrc, nil
+}
+
+func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
+	fps := cfg.FPS
+	if fps == 0 {
+		fps = 30
+	}
+	if cfg.Trace != nil {
+		if len(cfg.Trace.Frames) == 0 {
+			return nil, nil, fmt.Errorf("experiments: empty frame trace")
+		}
+		return []*video.Stream{cfg.Trace}, abr.Fixed{Rung: 0}, nil
+	}
+	codec := video.DefaultCodec()
+	if cfg.Codec != "" {
+		var err error
+		codec, err = video.CodecByName(cfg.Codec)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	switch cfg.ABR {
+	case "", "fixed":
+		spec := video.DefaultSpec(cfg.Title, cfg.Rung).WithCodec(codec)
+		spec.FPS = fps
+		s, err := video.Generate(spec, cfg.Duration, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []*video.Stream{s}, abr.Fixed{Rung: 0}, nil
+	default:
+		algo, err := abr.New(cfg.ABR)
+		if err != nil {
+			return nil, nil, err
+		}
+		streams, err := video.GenerateLadder(cfg.Title, fps, video.DefaultLadder(), cfg.Duration, cfg.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return streams, algo, nil
+	}
+}
+
+// Run executes one simulation and returns its result.
+func Run(cfg RunConfig) (RunResult, error) {
+	if cfg.Trace != nil && cfg.Duration <= 0 {
+		cfg.Duration = cfg.Trace.Duration()
+	}
+	if cfg.Duration <= 0 {
+		return RunResult{}, fmt.Errorf("experiments: duration %v not positive", cfg.Duration)
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = cpu.DeviceFlagship()
+	}
+	if cfg.Title.Name == "" {
+		cfg.Title = video.TitleSports
+	}
+	if cfg.Rung.Name == "" {
+		cfg.Rung = video.R720p
+	}
+
+	eng := sim.NewEngine()
+	meter := energy.NewMeter(eng)
+
+	coreCPU, err := cpu.NewCore(eng, cfg.Device)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if cfg.CStates {
+		if err := coreCPU.EnableCStates(cpu.DefaultCStates()); err != nil {
+			return RunResult{}, err
+		}
+	}
+	coreCPU.OnPower(meter.Listener(energy.ComponentCPU))
+
+	gov, hooks, eaGov, err := buildGovernor(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if err := gov.Attach(eng, coreCPU); err != nil {
+		return RunResult{}, err
+	}
+	defer gov.Detach()
+
+	bw, rrcCfg, err := buildBandwidth(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	radio, err := netsim.NewRadio(eng, rrcCfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	radio.OnPower(meter.Listener(energy.ComponentRadio))
+
+	dl, err := netsim.NewDownloader(eng, bw, radio, coreCPU, netsim.DefaultDownloaderConfig())
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	var thermal *cpu.Thermal
+	if cfg.Thermal != nil {
+		thermal, err = cpu.StartThermal(eng, coreCPU, *cfg.Thermal)
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer thermal.Stop()
+	}
+
+	var bg *cpu.LoadGen
+	if cfg.Background {
+		bg, err = cpu.StartLoadGen(eng, coreCPU, sim.Stream(cfg.Seed, "bgload"), cpu.DefaultLoadGenConfig())
+		if err != nil {
+			return RunResult{}, err
+		}
+	}
+
+	renditions, algo, err := buildRenditions(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+
+	pcfg := player.DefaultConfig()
+	if cfg.SegmentDur > 0 {
+		pcfg.SegmentDur = cfg.SegmentDur
+	}
+	pcfg.ABR = algo
+	pcfg.Hooks = hooks
+	pcfg.Meter = meter
+	if cfg.LowLatency {
+		pcfg.StartupSec = 1
+		pcfg.ResumeSec = 0.5
+		pcfg.MaxBufferSec = 4
+		pcfg.DecodedQueueCap = 3
+	}
+	if cfg.DecodedQueueCap > 0 {
+		pcfg.DecodedQueueCap = cfg.DecodedQueueCap
+	}
+	pcfg.LowWaterSec = cfg.LowWaterSec
+	sess, err := player.NewSession(eng, coreCPU, dl, renditions, pcfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	var probe *sim.Ticker
+	if cfg.OnSample != nil {
+		probe = sim.NewTicker(eng, 100*sim.Millisecond, func(now sim.Time) {
+			cfg.OnSample(now, coreCPU.FreqHz()/1e9, coreCPU.Power(), sess.BufferSec())
+		})
+	}
+	sess.OnDone(func() {
+		if bg != nil {
+			bg.Stop()
+		}
+		if probe != nil {
+			probe.Stop()
+		}
+		eng.Stop()
+	})
+	sess.Start()
+
+	// Horizon: generous multiple of content length so starved runs
+	// terminate; radio tails need the +60 s.
+	eng.RunUntil(cfg.Duration*6 + 60*sim.Second)
+	meter.Finish()
+
+	if err := sess.Err(); err != nil {
+		return RunResult{}, fmt.Errorf("experiments: session: %w", err)
+	}
+	if dl.Err() != nil {
+		return RunResult{}, fmt.Errorf("experiments: downloader: %w", dl.Err())
+	}
+	if bg != nil && bg.Err() != nil {
+		return RunResult{}, fmt.Errorf("experiments: background load: %w", bg.Err())
+	}
+
+	res := RunResult{
+		Governor:        gov.Name(),
+		CPUJ:            meter.ComponentJ(energy.ComponentCPU),
+		RadioJ:          meter.ComponentJ(energy.ComponentRadio),
+		DisplayJ:        meter.ComponentJ(energy.ComponentDisplay),
+		QoE:             sess.Metrics(),
+		FreqResidency:   coreCPU.FreqResidency(),
+		RadioResidency:  radio.Residency(),
+		RadioPromotions: radio.Promotions(),
+		Fetches:         dl.Fetches(),
+		SimEnd:          eng.Now(),
+	}
+	res.MeanFreqGHz = meanFreqGHz(cfg.Device, res.FreqResidency)
+	res.IdleResidency = coreCPU.IdleStateResidency()
+	res.OPPTransitions = coreCPU.Transitions()
+	if thermal != nil {
+		res.MaxTempC = thermal.MaxTempC()
+		res.ThrottleEvents = thermal.ThrottleEvents()
+		res.ThrottledS = thermal.ThrottledTime().Seconds()
+	}
+	if eaGov != nil {
+		st := eaGov.PredStats()
+		res.Pred = &st
+	}
+	return res, nil
+}
+
+func meanFreqGHz(model cpu.Model, residency map[int]sim.Time) float64 {
+	var num, den float64
+	for idx, d := range residency {
+		if idx < 0 || idx >= len(model.OPPs) {
+			continue
+		}
+		num += model.OPPs[idx].FreqHz * d.Seconds()
+		den += d.Seconds()
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den / 1e9
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced table or figure, as rows of formatted cells.
+type Table struct {
+	// ID is the experiment identifier (t1, f5, …).
+	ID string
+	// Title describes what the paper reports here.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows are the data cells, pre-formatted.
+	Rows [][]string
+	// Notes carries the expected-shape commentary for EXPERIMENTS.md.
+	Notes string
+}
+
+// Format renders the table as aligned monospace text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	var rule []string
+	for _, w := range widths {
+		rule = append(rule, strings.Repeat("-", w))
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table with the
+// title as a heading and the notes as a trailing blockquote.
+func (t Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", strings.ToUpper(t.ID), t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n> %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells are quoted only when they contain commas or quotes.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Render formats the table in the named format: "text" (default),
+// "markdown"/"md", or "csv".
+func (t Table) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.Format(), nil
+	case "markdown", "md":
+		return t.Markdown(), nil
+	case "csv":
+		return t.CSV(), nil
+	default:
+		return "", fmt.Errorf("experiments: unknown format %q (text, markdown, csv)", format)
+	}
+}
+
+// cell helpers keep experiment code terse.
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2c(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3c(v float64) string { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+func iv(v int) string      { return fmt.Sprintf("%d", v) }

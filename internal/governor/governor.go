@@ -1,0 +1,110 @@
+// Package governor implements the cpufreq governor framework and faithful
+// re-implementations of the stock Linux governors used as baselines in the
+// paper's evaluation: performance, powersave, userspace, ondemand,
+// conservative, interactive, and schedutil.
+//
+// Governors observe the simulated core exactly as kernel governors observe
+// hardware: a periodic sampling timer, windowed utilization, and the
+// current operating point. They steer the core with SetOPP/SetFreq.
+package governor
+
+import (
+	"fmt"
+
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/sim"
+)
+
+// Governor controls a core's frequency for the duration of a run.
+// Implementations are single-attach: create a fresh instance per
+// simulation.
+type Governor interface {
+	// Name returns the cpufreq-style governor name.
+	Name() string
+	// Attach begins controlling the core. It must be called at most once.
+	Attach(eng *sim.Engine, core *cpu.Core) error
+	// Detach stops the governor's timers. Safe to call more than once.
+	Detach()
+}
+
+// errReattach is returned when Attach is called twice.
+func errReattach(name string) error {
+	return fmt.Errorf("governor %s: already attached", name)
+}
+
+// Performance pins the core at the highest OPP — the kernel `performance`
+// governor and the paper's QoE-reference baseline.
+type Performance struct {
+	attached bool
+}
+
+// NewPerformance returns the performance governor.
+func NewPerformance() *Performance { return &Performance{} }
+
+// Name implements Governor.
+func (*Performance) Name() string { return "performance" }
+
+// Attach implements Governor.
+func (g *Performance) Attach(_ *sim.Engine, core *cpu.Core) error {
+	if g.attached {
+		return errReattach(g.Name())
+	}
+	g.attached = true
+	core.SetOPP(core.Model().MaxIdx())
+	return nil
+}
+
+// Detach implements Governor.
+func (*Performance) Detach() {}
+
+// Powersave pins the core at the lowest OPP — the kernel `powersave`
+// governor and the paper's energy lower bound (which drops frames on
+// demanding content).
+type Powersave struct {
+	attached bool
+}
+
+// NewPowersave returns the powersave governor.
+func NewPowersave() *Powersave { return &Powersave{} }
+
+// Name implements Governor.
+func (*Powersave) Name() string { return "powersave" }
+
+// Attach implements Governor.
+func (g *Powersave) Attach(_ *sim.Engine, core *cpu.Core) error {
+	if g.attached {
+		return errReattach(g.Name())
+	}
+	g.attached = true
+	core.SetOPP(0)
+	return nil
+}
+
+// Detach implements Governor.
+func (*Powersave) Detach() {}
+
+// Userspace pins the core at a caller-chosen OPP index, like writing to
+// scaling_setspeed.
+type Userspace struct {
+	idx      int
+	attached bool
+}
+
+// NewUserspace returns a userspace governor pinned at OPP index idx.
+func NewUserspace(idx int) *Userspace { return &Userspace{idx: idx} }
+
+// Name implements Governor.
+func (*Userspace) Name() string { return "userspace" }
+
+// Attach implements Governor.
+func (g *Userspace) Attach(_ *sim.Engine, core *cpu.Core) error {
+	if g.attached {
+		return errReattach(g.Name())
+	}
+	g.attached = true
+	core.SetOPP(g.idx)
+	return nil
+}
+
+// Detach implements Governor.
+func (*Userspace) Detach() {}

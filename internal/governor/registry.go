@@ -1,0 +1,45 @@
+package governor
+
+import "fmt"
+
+// New returns a fresh default-configured governor by cpufreq name. The
+// userspace governor is not constructible here because it needs a pinned
+// OPP index; use NewUserspace directly.
+func New(name string) (Governor, error) {
+	switch name {
+	case "performance":
+		return NewPerformance(), nil
+	case "powersave":
+		return NewPowersave(), nil
+	case "ondemand":
+		return NewOndemand(DefaultOndemandConfig())
+	case "conservative":
+		return NewConservative(DefaultConservativeConfig())
+	case "interactive":
+		return NewInteractive(DefaultInteractiveConfig())
+	case "schedutil":
+		return NewSchedutil(DefaultSchedutilConfig())
+	default:
+		return nil, fmt.Errorf("governor: unknown name %q", name)
+	}
+}
+
+// BaselineNames lists the stock governors compared against in the
+// evaluation, in report order.
+func BaselineNames() []string {
+	return []string{"performance", "powersave", "ondemand", "conservative", "interactive", "schedutil"}
+}
+
+// Baselines returns fresh default instances of every baseline governor.
+func Baselines() ([]Governor, error) {
+	names := BaselineNames()
+	out := make([]Governor, 0, len(names))
+	for _, n := range names {
+		g, err := New(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, g)
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+)
+
+// ErlangB returns the blocking probability of an M/G/N loss system with
+// offered load rho (Erlangs) and n servers, computed with the numerically
+// stable recurrence B(0)=1, B(k) = rho·B(k-1) / (k + rho·B(k-1)).
+func ErlangB(rho float64, n int) float64 {
+	if n < 0 || rho < 0 {
+		return 1
+	}
+	b := 1.0
+	for k := 1; k <= n; k++ {
+		b = rho * b / (float64(k) + rho*b)
+	}
+	return b
+}
+
+// CapacityUsers returns the maximum number of users a cell supports such
+// that session blocking stays below beta, when each user offers sessions
+// at ratePerUser (sessions/s) that hold a dedicated channel for holdTime
+// seconds, with n channel pairs available. This is the paper group's
+// M/G/N radio-capacity model: shorter channel hold times (earlier DCH
+// release) directly increase capacity.
+func CapacityUsers(ratePerUser, holdTime float64, n int, beta float64) (int, error) {
+	if ratePerUser <= 0 || holdTime <= 0 {
+		return 0, fmt.Errorf("capacity: rate %v and hold time %v must be positive", ratePerUser, holdTime)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("capacity: %d channels", n)
+	}
+	if beta <= 0 || beta >= 1 {
+		return 0, fmt.Errorf("capacity: beta %v outside (0, 1)", beta)
+	}
+	perUserLoad := ratePerUser * holdTime
+	// The per-user load is tiny, so scan; bound the scan generously.
+	limit := int(math.Ceil(float64(n)/perUserLoad)) * 4
+	if limit < 16 {
+		limit = 16
+	}
+	best := 0
+	for k := 1; k <= limit; k++ {
+		if ErlangB(float64(k)*perUserLoad, n) < beta {
+			best = k
+		} else {
+			break
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("capacity: even one user exceeds blocking target %v", beta)
+	}
+	return best, nil
+}

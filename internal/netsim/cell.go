@@ -1,0 +1,178 @@
+package netsim
+
+import (
+	"fmt"
+
+	"videodvfs/internal/sim"
+)
+
+// CellSimConfig parameterizes a multi-user cell simulation: Users
+// independent streaming clients each request a dedicated channel pair once
+// per FetchPeriod (the segment duration) and hold it for a lognormal
+// service time. Requests finding all Channels busy are blocked and lost,
+// matching the M/G/N loss model the capacity analysis uses — the
+// simulation validates that analysis and measures the capacity effect of
+// shorter holds (fast dormancy / burst prefetch) directly.
+type CellSimConfig struct {
+	// Users is the number of streaming clients in the cell.
+	Users int
+	// Channels is the number of dedicated channel pairs.
+	Channels int
+	// FetchPeriod is each user's mean inter-request time.
+	FetchPeriod sim.Time
+	// HoldMean is the mean channel hold per request.
+	HoldMean sim.Time
+	// HoldCV is the lognormal CV of hold times.
+	HoldCV float64
+	// Duration is the simulated span.
+	Duration sim.Time
+	// Warmup excludes the initial transient from the statistics.
+	Warmup sim.Time
+}
+
+// Validate checks the configuration.
+func (c CellSimConfig) Validate() error {
+	if c.Users <= 0 {
+		return fmt.Errorf("cell: %d users", c.Users)
+	}
+	if c.Channels <= 0 {
+		return fmt.Errorf("cell: %d channels", c.Channels)
+	}
+	if c.FetchPeriod <= 0 || c.HoldMean <= 0 {
+		return fmt.Errorf("cell: fetch period %v and hold %v must be positive", c.FetchPeriod, c.HoldMean)
+	}
+	if c.HoldCV < 0 {
+		return fmt.Errorf("cell: negative hold CV")
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("cell: duration %v not positive", c.Duration)
+	}
+	if c.Warmup < 0 || c.Warmup >= c.Duration {
+		return fmt.Errorf("cell: warmup %v outside [0, duration)", c.Warmup)
+	}
+	return nil
+}
+
+// CellStats summarizes a cell simulation.
+type CellStats struct {
+	// Requests and Blocked count post-warmup channel requests.
+	Requests, Blocked int
+	// MeanBusy is the time-averaged number of busy channels.
+	MeanBusy float64
+	// PeakBusy is the maximum concurrently busy channels.
+	PeakBusy int
+}
+
+// BlockRate returns the fraction of requests blocked.
+func (s CellStats) BlockRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Blocked) / float64(s.Requests)
+}
+
+// SimulateCell runs the multi-user loss-system simulation.
+func SimulateCell(cfg CellSimConfig, rng *sim.RNG) (CellStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return CellStats{}, err
+	}
+	if rng == nil {
+		return CellStats{}, fmt.Errorf("cell: rng is required")
+	}
+	eng := sim.NewEngine()
+	var (
+		busy     int
+		stats    CellStats
+		busyTW   float64 // ∫ busy dt after warmup
+		lastAt   sim.Time
+		observed sim.Time
+	)
+	account := func(now sim.Time) {
+		if now > cfg.Warmup {
+			from := lastAt
+			if from < cfg.Warmup {
+				from = cfg.Warmup
+			}
+			dt := now - from
+			busyTW += float64(busy) * dt.Seconds()
+			observed += dt
+		}
+		lastAt = now
+	}
+	request := func(now sim.Time) {
+		account(now)
+		if now > cfg.Warmup {
+			stats.Requests++
+		}
+		if busy >= cfg.Channels {
+			if now > cfg.Warmup {
+				stats.Blocked++
+			}
+			return
+		}
+		busy++
+		if busy > stats.PeakBusy {
+			stats.PeakBusy = busy
+		}
+		hold := sim.Time(rng.LognormalMeanCV(cfg.HoldMean.Seconds(), cfg.HoldCV))
+		eng.Schedule(hold, func() {
+			account(eng.Now())
+			busy--
+		})
+	}
+	// Each user requests with exponential inter-arrival around the fetch
+	// period, staggered at start.
+	for u := 0; u < cfg.Users; u++ {
+		var arm func(delay sim.Time)
+		arm = func(delay sim.Time) {
+			eng.Schedule(delay, func() {
+				now := eng.Now()
+				if now >= cfg.Duration {
+					return
+				}
+				request(now)
+				arm(sim.Time(rng.Exp(cfg.FetchPeriod.Seconds())))
+			})
+		}
+		arm(sim.Time(rng.Uniform(0, cfg.FetchPeriod.Seconds())))
+	}
+	eng.RunUntil(cfg.Duration)
+	account(cfg.Duration)
+	if observed > 0 {
+		stats.MeanBusy = busyTW / observed.Seconds()
+	}
+	return stats, nil
+}
+
+// SimulatedCapacity returns the largest user count whose simulated
+// blocking rate stays below beta, scanning upward in the given step. It is
+// the empirical counterpart of CapacityUsers.
+func SimulatedCapacity(base CellSimConfig, beta float64, step int, rng func(users int) *sim.RNG) (int, error) {
+	if beta <= 0 || beta >= 1 {
+		return 0, fmt.Errorf("cell: beta %v outside (0, 1)", beta)
+	}
+	if step <= 0 {
+		return 0, fmt.Errorf("cell: step %d not positive", step)
+	}
+	if rng == nil {
+		return 0, fmt.Errorf("cell: rng factory is required")
+	}
+	best := 0
+	for users := step; users <= base.Channels*100; users += step {
+		cfg := base
+		cfg.Users = users
+		st, err := SimulateCell(cfg, rng(users))
+		if err != nil {
+			return 0, err
+		}
+		if st.BlockRate() < beta {
+			best = users
+		} else {
+			break
+		}
+	}
+	if best == 0 {
+		return 0, fmt.Errorf("cell: even %d users exceed blocking target %v", step, beta)
+	}
+	return best, nil
+}

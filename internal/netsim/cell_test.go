@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"videodvfs/internal/sim"
+)
+
+func cellBase() CellSimConfig {
+	return CellSimConfig{
+		Users:       40,
+		Channels:    64,
+		FetchPeriod: 2 * sim.Second,
+		HoldMean:    600 * sim.Millisecond,
+		HoldCV:      0.3,
+		Duration:    10 * sim.Minute,
+		Warmup:      30 * sim.Second,
+	}
+}
+
+func TestCellSimValidation(t *testing.T) {
+	bad := []func(*CellSimConfig){
+		func(c *CellSimConfig) { c.Users = 0 },
+		func(c *CellSimConfig) { c.Channels = 0 },
+		func(c *CellSimConfig) { c.FetchPeriod = 0 },
+		func(c *CellSimConfig) { c.HoldMean = 0 },
+		func(c *CellSimConfig) { c.HoldCV = -1 },
+		func(c *CellSimConfig) { c.Duration = 0 },
+		func(c *CellSimConfig) { c.Warmup = c.Duration },
+	}
+	for i, mutate := range bad {
+		cfg := cellBase()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+	if _, err := SimulateCell(cellBase(), nil); err == nil {
+		t.Error("want error for nil rng")
+	}
+}
+
+func TestCellSimLightLoadNoBlocking(t *testing.T) {
+	cfg := cellBase()
+	cfg.Users = 10 // offered load ≈ 10·0.3 = 3 Erlangs on 64 channels
+	st, err := SimulateCell(cfg, sim.Stream(1, "cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocked != 0 {
+		t.Fatalf("light load blocked %d requests", st.Blocked)
+	}
+	if st.Requests == 0 {
+		t.Fatal("no requests recorded")
+	}
+	// Mean busy ≈ offered load (Little's law for loss-free systems).
+	want := 10 * cfg.HoldMean.Seconds() / cfg.FetchPeriod.Seconds()
+	if math.Abs(st.MeanBusy-want) > 0.3*want {
+		t.Fatalf("mean busy %.2f, want ≈ %.2f", st.MeanBusy, want)
+	}
+}
+
+func TestCellSimOverloadBlocks(t *testing.T) {
+	cfg := cellBase()
+	cfg.Users = 1000 // offered ≈ 300 Erlangs on 64 channels
+	st, err := SimulateCell(cfg, sim.Stream(2, "cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlockRate() < 0.5 {
+		t.Fatalf("overload block rate %.2f, want ≥ 0.5", st.BlockRate())
+	}
+	if st.PeakBusy != cfg.Channels {
+		t.Fatalf("peak busy %d, want all %d channels", st.PeakBusy, cfg.Channels)
+	}
+}
+
+func TestCellSimMatchesErlangB(t *testing.T) {
+	// At a known offered load the simulated blocking must match the
+	// analytic Erlang-B value (the M/G/N insensitivity property says the
+	// hold distribution does not matter).
+	cfg := cellBase()
+	cfg.Channels = 16
+	cfg.Users = 100 // offered = 100·0.3 = 30 Erlangs
+	cfg.Duration = 30 * sim.Minute
+	st, err := SimulateCell(cfg, sim.Stream(3, "cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := float64(cfg.Users) * cfg.HoldMean.Seconds() / cfg.FetchPeriod.Seconds()
+	analytic := ErlangB(offered, cfg.Channels)
+	if math.Abs(st.BlockRate()-analytic) > 0.15*analytic {
+		t.Fatalf("simulated blocking %.4f vs Erlang-B %.4f (offered %.1f E)", st.BlockRate(), analytic, offered)
+	}
+}
+
+func TestCellSimDeterministic(t *testing.T) {
+	a, err := SimulateCell(cellBase(), sim.Stream(5, "cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateCell(cellBase(), sim.Stream(5, "cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulatedCapacityShorterHoldsMoreUsers(t *testing.T) {
+	base := cellBase()
+	base.Duration = 5 * sim.Minute
+	mk := func(users int) *sim.RNG { return sim.Stream(int64(users), "cap") }
+	long := base
+	long.HoldMean = 1200 * sim.Millisecond
+	kLong, err := SimulatedCapacity(long, 0.02, 10, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := base
+	short.HoldMean = 600 * sim.Millisecond
+	kShort, err := SimulatedCapacity(short, 0.02, 10, mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kShort <= kLong {
+		t.Fatalf("halving holds should raise capacity: %d vs %d", kShort, kLong)
+	}
+}
+
+func TestSimulatedCapacityValidation(t *testing.T) {
+	mk := func(users int) *sim.RNG { return sim.Stream(1, "x") }
+	if _, err := SimulatedCapacity(cellBase(), 0, 10, mk); err == nil {
+		t.Error("want error for beta 0")
+	}
+	if _, err := SimulatedCapacity(cellBase(), 0.02, 0, mk); err == nil {
+		t.Error("want error for zero step")
+	}
+	if _, err := SimulatedCapacity(cellBase(), 0.02, 10, nil); err == nil {
+		t.Error("want error for nil rng factory")
+	}
+}

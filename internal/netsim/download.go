@@ -1,0 +1,191 @@
+package netsim
+
+import (
+	"fmt"
+
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/sim"
+)
+
+// DownloaderConfig tunes the segment downloader.
+type DownloaderConfig struct {
+	// RTT is the request round-trip added before each fetch's data flows.
+	RTT sim.Time
+	// CyclesPerBit is the CPU cost of network-stack processing, submitted
+	// to the core as the data arrives.
+	CyclesPerBit float64
+	// NetChunk is the granularity at which network CPU work is submitted
+	// (span of download time per CPU job).
+	NetChunk sim.Time
+}
+
+// DefaultDownloaderConfig returns typical values: 70 ms RTT, ≈1 cycle/bit
+// stack cost, 100 ms CPU-job chunking.
+func DefaultDownloaderConfig() DownloaderConfig {
+	return DownloaderConfig{
+		RTT:          70 * sim.Millisecond,
+		CyclesPerBit: 1.0,
+		NetChunk:     100 * sim.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c DownloaderConfig) Validate() error {
+	if c.RTT < 0 {
+		return fmt.Errorf("downloader: negative RTT")
+	}
+	if c.CyclesPerBit < 0 {
+		return fmt.Errorf("downloader: negative cycles/bit")
+	}
+	if c.NetChunk <= 0 {
+		return fmt.Errorf("downloader: chunk %v not positive", c.NetChunk)
+	}
+	return nil
+}
+
+// Downloader fetches byte blobs over a bandwidth trace while driving the
+// radio state machine and charging network-stack CPU cycles to the core.
+// Fetches are serialized (players fetch one segment at a time).
+type Downloader struct {
+	eng   *sim.Engine
+	bw    Bandwidth
+	radio *Radio
+	core  *cpu.Core
+	cfg   DownloaderConfig
+
+	busy    bool
+	queue   []fetchReq
+	bitsRx  float64
+	fetches int
+	subErr  error
+
+	onActive func(now sim.Time, active bool)
+}
+
+type fetchReq struct {
+	bits   float64
+	onDone func(now sim.Time)
+}
+
+// NewDownloader wires a downloader to its substrates. core may be nil to
+// skip CPU accounting (used by radio-only experiments).
+func NewDownloader(eng *sim.Engine, bw Bandwidth, radio *Radio, core *cpu.Core, cfg DownloaderConfig) (*Downloader, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if bw == nil || radio == nil {
+		return nil, fmt.Errorf("downloader: bandwidth and radio are required")
+	}
+	return &Downloader{eng: eng, bw: bw, radio: radio, core: core, cfg: cfg}, nil
+}
+
+// OnActive registers a listener for download activity transitions (used by
+// the network-coordinating governor).
+func (d *Downloader) OnActive(fn func(now sim.Time, active bool)) { d.onActive = fn }
+
+// BitsReceived returns the total payload downloaded so far.
+func (d *Downloader) BitsReceived() float64 { return d.bitsRx }
+
+// Fetches returns the number of completed fetches.
+func (d *Downloader) Fetches() int { return d.fetches }
+
+// Err returns the first internal error (CPU submission), if any.
+func (d *Downloader) Err() error { return d.subErr }
+
+// Busy reports whether a fetch is in flight.
+func (d *Downloader) Busy() bool { return d.busy }
+
+// Fetch downloads bits of payload and calls onDone at completion. Calls
+// while busy are queued in order.
+func (d *Downloader) Fetch(bits float64, onDone func(now sim.Time)) error {
+	if bits <= 0 {
+		return fmt.Errorf("downloader: fetch of %v bits", bits)
+	}
+	d.queue = append(d.queue, fetchReq{bits: bits, onDone: onDone})
+	if !d.busy {
+		d.next()
+	}
+	return nil
+}
+
+func (d *Downloader) next() {
+	if len(d.queue) == 0 {
+		if d.busy {
+			d.busy = false
+			if d.onActive != nil {
+				d.onActive(d.eng.Now(), false)
+			}
+			d.radio.EndActivity()
+		}
+		return
+	}
+	req := d.queue[0]
+	d.queue = d.queue[1:]
+	if !d.busy {
+		d.busy = true
+		if d.onActive != nil {
+			d.onActive(d.eng.Now(), true)
+		}
+	}
+	d.radio.BeginActivity(func() {
+		// Request RTT, then stream the payload.
+		d.eng.Schedule(d.cfg.RTT, func() {
+			d.radio.SetTransferring(true)
+			d.stream(req.bits, 0, req)
+		})
+	})
+}
+
+// stream advances the download through the piecewise-constant bandwidth
+// trace, charging network CPU work per chunk.
+func (d *Downloader) stream(remaining, chunkCycles float64, req fetchReq) {
+	now := d.eng.Now()
+	rate, until := d.bw.Rate(now)
+	if rate <= 0 {
+		// Outage: idle the radio Tx flag until the rate returns.
+		d.radio.SetTransferring(false)
+		d.eng.At(until, func() {
+			d.radio.SetTransferring(true)
+			d.stream(remaining, chunkCycles, req)
+		})
+		return
+	}
+	span := until - now
+	if span > d.cfg.NetChunk {
+		span = d.cfg.NetChunk
+	}
+	bitsInSpan := rate * span.Seconds()
+	if bitsInSpan >= remaining {
+		// Finishes within this span.
+		dt := sim.Time(remaining / rate)
+		d.eng.Schedule(dt, func() {
+			d.bitsRx += remaining
+			d.chargeCPU(chunkCycles + remaining*d.cfg.CyclesPerBit)
+			d.fetches++
+			done := req.onDone
+			// Let the next queued fetch (if any) keep the radio active;
+			// otherwise end the burst.
+			d.radio.SetTransferring(false)
+			if done != nil {
+				done(d.eng.Now())
+			}
+			d.next()
+		})
+		return
+	}
+	d.eng.Schedule(span, func() {
+		d.bitsRx += bitsInSpan
+		d.chargeCPU(chunkCycles + bitsInSpan*d.cfg.CyclesPerBit)
+		d.stream(remaining-bitsInSpan, 0, req)
+	})
+}
+
+func (d *Downloader) chargeCPU(cycles float64) {
+	if d.core == nil || cycles <= 0 {
+		return
+	}
+	err := d.core.Submit(&cpu.Job{Cycles: cycles, Priority: cpu.PrioNetwork, Tag: "net"})
+	if err != nil && d.subErr == nil {
+		d.subErr = err
+	}
+}

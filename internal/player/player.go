@@ -1,0 +1,174 @@
+// Package player composes the streaming pipeline: segment download with
+// ABR, the media buffer, the decode-ahead worker, and a display that
+// consumes decoded frames at the frame rate, stalling on empty buffers and
+// dropping late frames. It produces the QoE metrics the evaluation
+// reports alongside energy.
+package player
+
+import (
+	"fmt"
+
+	"videodvfs/internal/abr"
+	"videodvfs/internal/decode"
+	"videodvfs/internal/energy"
+	"videodvfs/internal/sim"
+)
+
+// SessionHooks is the player-side integration surface for video-aware
+// governors: decoder lifecycle plus playback and download transitions.
+type SessionHooks interface {
+	decode.Hooks
+	// StreamInfo announces stream parameters once, before fetching
+	// begins.
+	StreamInfo(fps float64, totalFrames int)
+	// PlaybackState fires when playback starts, stalls, resumes, or ends.
+	PlaybackState(now sim.Time, playing bool)
+	// DownloadActivity fires when the segment downloader goes busy/idle.
+	DownloadActivity(now sim.Time, active bool)
+	// BufferState fires when buffer occupancy changes materially (each
+	// displayed frame and each segment arrival).
+	BufferState(now sim.Time, mediaSec float64, readyFrames, readyCap int)
+}
+
+// NopSessionHooks is an embeddable no-op SessionHooks.
+type NopSessionHooks struct{ decode.NopHooks }
+
+// StreamInfo implements SessionHooks.
+func (NopSessionHooks) StreamInfo(float64, int) {}
+
+// PlaybackState implements SessionHooks.
+func (NopSessionHooks) PlaybackState(sim.Time, bool) {}
+
+// DownloadActivity implements SessionHooks.
+func (NopSessionHooks) DownloadActivity(sim.Time, bool) {}
+
+// BufferState implements SessionHooks.
+func (NopSessionHooks) BufferState(sim.Time, float64, int, int) {}
+
+var _ SessionHooks = NopSessionHooks{}
+
+// Config tunes a streaming session.
+type Config struct {
+	// StartupSec is the media buffer (seconds) required to begin
+	// playback.
+	StartupSec float64
+	// ResumeSec is the media buffer required to resume after a stall.
+	ResumeSec float64
+	// MaxBufferSec caps prefetching.
+	MaxBufferSec float64
+	// LowWaterSec enables burst prefetching: after filling to
+	// MaxBufferSec the player stays idle until the buffer drains to this
+	// level, then refills in one burst. Bursting consolidates radio
+	// activity so the RRC tail timers (or fast dormancy) can release the
+	// channel between bursts. Zero disables hysteresis (continuous
+	// trickle, one segment per segment-duration).
+	LowWaterSec float64
+	// DecodedQueueCap is the decode-ahead depth in frames — the slack
+	// store of the energy-aware policy.
+	DecodedQueueCap int
+	// SegmentDur is the media segment duration.
+	SegmentDur sim.Time
+	// ABR selects rungs; Fixed pins one rendition.
+	ABR abr.Algorithm
+	// ThroughputAlpha is the EWMA smoothing for throughput estimates.
+	ThroughputAlpha float64
+	// DisplayPowerW is the constant screen draw while the session runs
+	// (metered if Meter is set).
+	DisplayPowerW float64
+	// AudioCyclesPerSec adds an audio-decode load: small decode-priority
+	// jobs every 20 ms totalling this cycle rate (AAC software decode is
+	// ≈10–20 M cycles/s). Zero disables audio.
+	AudioCyclesPerSec float64
+	// Hooks receives governor callbacks; nil for baseline governors.
+	Hooks SessionHooks
+	// Meter, if set, receives display power.
+	Meter *energy.Meter
+}
+
+// DefaultConfig returns the evaluation defaults: 4 s startup, 2 s resume,
+// 30 s max buffer, 8-frame decode-ahead, 2 s segments, pinned top rung.
+func DefaultConfig() Config {
+	return Config{
+		StartupSec:      4,
+		ResumeSec:       2,
+		MaxBufferSec:    30,
+		DecodedQueueCap: 8,
+		SegmentDur:      2 * sim.Second,
+		ABR:             abr.Fixed{Rung: 0},
+		ThroughputAlpha: 0.3,
+		DisplayPowerW:   1.0,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.StartupSec <= 0 || c.ResumeSec <= 0 {
+		return fmt.Errorf("player: startup (%v) and resume (%v) thresholds must be positive", c.StartupSec, c.ResumeSec)
+	}
+	if c.MaxBufferSec < c.StartupSec {
+		return fmt.Errorf("player: max buffer %v below startup threshold %v", c.MaxBufferSec, c.StartupSec)
+	}
+	if c.LowWaterSec < 0 || c.LowWaterSec > c.MaxBufferSec {
+		return fmt.Errorf("player: low water %v outside [0, max buffer %v]", c.LowWaterSec, c.MaxBufferSec)
+	}
+	if c.DecodedQueueCap < 1 {
+		return fmt.Errorf("player: decoded queue cap %d < 1", c.DecodedQueueCap)
+	}
+	if c.SegmentDur <= 0 {
+		return fmt.Errorf("player: segment duration %v not positive", c.SegmentDur)
+	}
+	if c.ABR == nil {
+		return fmt.Errorf("player: ABR algorithm is required")
+	}
+	if c.ThroughputAlpha <= 0 || c.ThroughputAlpha > 1 {
+		return fmt.Errorf("player: throughput alpha %v outside (0, 1]", c.ThroughputAlpha)
+	}
+	if c.DisplayPowerW < 0 {
+		return fmt.Errorf("player: negative display power")
+	}
+	if c.AudioCyclesPerSec < 0 {
+		return fmt.Errorf("player: negative audio load")
+	}
+	return nil
+}
+
+// Metrics is the QoE summary of a session.
+type Metrics struct {
+	// StartupDelay is the time from session start to the first displayed
+	// frame.
+	StartupDelay sim.Time
+	// RebufferCount is the number of mid-playback stalls.
+	RebufferCount int
+	// RebufferTime is the total stalled time.
+	RebufferTime sim.Time
+	// DroppedFrames are display slots skipped because decode was late.
+	DroppedFrames int
+	// DisplayedFrames reached the screen on time.
+	DisplayedFrames int
+	// TotalFrames is the stream length in frames.
+	TotalFrames int
+	// RungSwitches counts ABR rendition changes.
+	RungSwitches int
+	// MeanRungBps is the mean bitrate of fetched segments.
+	MeanRungBps float64
+	// SessionDur is wall time from Start to the last displayed frame.
+	SessionDur sim.Time
+	// Completed reports whether the stream finished within the horizon.
+	Completed bool
+}
+
+// DropRate returns dropped / total frames.
+func (m Metrics) DropRate() float64 {
+	if m.TotalFrames == 0 {
+		return 0
+	}
+	return float64(m.DroppedFrames) / float64(m.TotalFrames)
+}
+
+// RebufferRatio returns stalled time over session time.
+func (m Metrics) RebufferRatio() float64 {
+	if m.SessionDur <= 0 {
+		return 0
+	}
+	return float64(m.RebufferTime / m.SessionDur)
+}

@@ -1,0 +1,104 @@
+package player
+
+import (
+	"testing"
+	"testing/quick"
+
+	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
+)
+
+// Property: for any link rate, decode cost, and content length, a
+// completed session conserves frames (displayed + dropped = total), never
+// reports negative metrics, and keeps the buffer non-negative.
+func TestSessionConservationProperty(t *testing.T) {
+	f := func(seed int64, rateRaw, costRaw, lenRaw uint8) bool {
+		rng := sim.Stream(seed, "prop/player")
+		_ = rng
+		bps := 0.5e6 + float64(rateRaw)/255*20e6
+		cycles := 1e6 + float64(costRaw)/255*60e6
+		seconds := 5 + float64(lenRaw%20)
+		eng, core := singleOPPCore(&testing.T{}, 1.5e9)
+		stream := flatStream(30, seconds, 1e6, cycles)
+		fet := &fakeFetcher{eng: eng, bps: bps}
+		s, err := NewSession(eng, core, fet, []*video.Stream{stream}, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		minBuffer := 0.0
+		probe := sim.NewTicker(eng, 100*sim.Millisecond, func(sim.Time) {
+			if b := s.BufferSec(); b < minBuffer {
+				minBuffer = b
+			}
+		})
+		defer probe.Stop()
+		s.Start()
+		eng.RunUntil(30 * sim.Minute)
+		if s.Err() != nil {
+			return false
+		}
+		m := s.Metrics()
+		if !m.Completed {
+			return false // 30 min is generous for ≤25 s of content
+		}
+		if m.DisplayedFrames+m.DroppedFrames != m.TotalFrames {
+			return false
+		}
+		if m.StartupDelay < 0 || m.RebufferTime < 0 || m.SessionDur <= 0 {
+			return false
+		}
+		if m.RebufferCount < 0 || m.RungSwitches < 0 {
+			return false
+		}
+		return minBuffer >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a session is deterministic — the same inputs give the same
+// metrics.
+func TestSessionDeterminismProperty(t *testing.T) {
+	run := func() Metrics {
+		eng, core := singleOPPCore(&testing.T{}, 1e9)
+		stream := flatStream(30, 15, 2e6, 20e6)
+		fet := &fakeFetcher{eng: eng, bps: 3e6}
+		s, err := NewSession(eng, core, fet, []*video.Stream{stream}, DefaultConfig())
+		if err != nil {
+			return Metrics{}
+		}
+		s.Start()
+		eng.RunUntil(10 * sim.Minute)
+		return s.Metrics()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("identical sessions diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// Property: decoder work never exceeds the frames pushed: decoded +
+// skipped ≤ total, and discarded ≤ decoded.
+func TestSessionDecoderAccountingProperty(t *testing.T) {
+	f := func(costRaw uint8) bool {
+		cycles := 1e6 + float64(costRaw)/255*80e6 // up to hard overload
+		eng, core := singleOPPCore(&testing.T{}, 1e9)
+		stream := flatStream(30, 10, 1e6, cycles)
+		fet := &fakeFetcher{eng: eng, bps: 10e6}
+		s, err := NewSession(eng, core, fet, []*video.Stream{stream}, DefaultConfig())
+		if err != nil {
+			return false
+		}
+		s.Start()
+		eng.RunUntil(10 * sim.Minute)
+		c := s.Decoder().Counts()
+		if c.Decoded+c.Skipped > len(stream.Frames) {
+			return false
+		}
+		return c.Discarded <= c.Decoded
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,342 @@
+package player
+
+import (
+	"fmt"
+
+	"videodvfs/internal/abr"
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/decode"
+	"videodvfs/internal/energy"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/stats"
+	"videodvfs/internal/video"
+)
+
+// Fetcher is the downloader interface the session consumes
+// (netsim.Downloader implements it).
+type Fetcher interface {
+	// Fetch downloads bits and calls onDone at completion.
+	Fetch(bits float64, onDone func(now sim.Time)) error
+	// OnActive registers the busy/idle listener.
+	OnActive(fn func(now sim.Time, active bool))
+}
+
+// Session is one streaming playback session.
+type Session struct {
+	eng   *sim.Engine
+	core  decode.Submitter
+	fet   Fetcher
+	cfg   Config
+	hooks SessionHooks
+
+	renditions []*video.Stream
+	segments   [][]video.Segment
+	rates      []float64
+	fps        float64
+	numSegs    int
+	total      int
+
+	dec *decode.Decoder
+
+	// Download state.
+	nextSeg   int
+	lastRung  int
+	fetching  bool
+	draining  bool // burst mode: waiting for the buffer to hit low water
+	tput      *stats.EWMA
+	bitsSum   float64
+	segsSum   int
+	downLoade int // contiguous frames delivered to the decoder
+
+	// Playback state.
+	started    bool
+	playing    bool
+	playhead   int
+	nextTickAt sim.Time
+	tickEv     *sim.Event
+	stallStart sim.Time
+	startedAt  sim.Time
+
+	metrics Metrics
+	done    bool
+	onDone  []func()
+	err     error
+
+	audioTicker *sim.Ticker
+}
+
+// NewSession builds a session over scene-aligned renditions (one per
+// ladder rung, ascending bitrate; a single rendition is fine with a Fixed
+// ABR). core may be a single cpu.Core or a cluster router implementing
+// decode.Submitter.
+func NewSession(eng *sim.Engine, core decode.Submitter, fet Fetcher, renditions []*video.Stream, cfg Config) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(renditions) == 0 {
+		return nil, fmt.Errorf("player: no renditions")
+	}
+	if fet == nil || core == nil {
+		return nil, fmt.Errorf("player: fetcher and core are required")
+	}
+	base := renditions[0]
+	for i, r := range renditions {
+		if len(r.Frames) != len(base.Frames) {
+			return nil, fmt.Errorf("player: rendition %d has %d frames, rung 0 has %d", i, len(r.Frames), len(base.Frames))
+		}
+		if r.Spec.FPS != base.Spec.FPS {
+			return nil, fmt.Errorf("player: rendition %d fps %v differs from rung 0 (%v)", i, r.Spec.FPS, base.Spec.FPS)
+		}
+		if i > 0 && r.Spec.BitrateBps <= renditions[i-1].Spec.BitrateBps {
+			return nil, fmt.Errorf("player: renditions not ascending by bitrate at %d", i)
+		}
+	}
+	hooks := cfg.Hooks
+	if hooks == nil {
+		hooks = NopSessionHooks{}
+	}
+	s := &Session{
+		eng:        eng,
+		core:       core,
+		fet:        fet,
+		cfg:        cfg,
+		hooks:      hooks,
+		renditions: renditions,
+		fps:        base.Spec.FPS,
+		total:      len(base.Frames),
+		lastRung:   -1,
+		tput:       stats.NewEWMA(cfg.ThroughputAlpha),
+	}
+	s.rates = make([]float64, len(renditions))
+	s.segments = make([][]video.Segment, len(renditions))
+	for i, r := range renditions {
+		s.rates[i] = r.Spec.BitrateBps
+		segs, err := video.Segmentize(r, cfg.SegmentDur)
+		if err != nil {
+			return nil, fmt.Errorf("player: rendition %d: %w", i, err)
+		}
+		s.segments[i] = segs
+	}
+	s.numSegs = len(s.segments[0])
+	dec, err := decode.New(eng, core, cfg.DecodedQueueCap, s.deadlineOf, hooks)
+	if err != nil {
+		return nil, err
+	}
+	s.dec = dec
+	dec.OnReady(func(video.Frame) { s.tryStartOrResume() })
+	fet.OnActive(func(now sim.Time, active bool) { s.hooks.DownloadActivity(now, active) })
+	return s, nil
+}
+
+// Start begins fetching; playback starts once the startup buffer fills.
+func (s *Session) Start() {
+	s.startedAt = s.eng.Now()
+	s.metrics.TotalFrames = s.total
+	if s.cfg.Meter != nil {
+		s.cfg.Meter.Set(energy.ComponentDisplay, s.cfg.DisplayPowerW)
+	}
+	s.hooks.StreamInfo(s.fps, s.total)
+	s.hooks.PlaybackState(s.eng.Now(), false)
+	if s.cfg.AudioCyclesPerSec > 0 {
+		const audioPeriod = 20 * sim.Millisecond
+		cycles := s.cfg.AudioCyclesPerSec * audioPeriod.Seconds()
+		s.audioTicker = sim.NewTicker(s.eng, audioPeriod, func(sim.Time) {
+			err := s.core.Submit(&cpu.Job{Cycles: cycles, Priority: cpu.PrioDecode, Tag: "audio"})
+			if err != nil && s.err == nil {
+				s.err = fmt.Errorf("player: audio decode: %w", err)
+			}
+		})
+	}
+	s.maybeFetch()
+}
+
+// Done reports whether the session finished.
+func (s *Session) Done() bool { return s.done }
+
+// OnDone registers a completion callback.
+func (s *Session) OnDone(fn func()) { s.onDone = append(s.onDone, fn) }
+
+// Err returns the first internal error, if any.
+func (s *Session) Err() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.dec.Err()
+}
+
+// Metrics returns the QoE summary (final once Done).
+func (s *Session) Metrics() Metrics { return s.metrics }
+
+// Decoder exposes the decode worker (for experiment inspection).
+func (s *Session) Decoder() *decode.Decoder { return s.dec }
+
+// BufferSec returns the media buffer level in seconds of content ahead of
+// the playhead.
+func (s *Session) BufferSec() float64 {
+	return float64(s.downLoade-s.playhead) / s.fps
+}
+
+// deadlineOf returns the frame's current scheduled display time. Before
+// playback (startup or stall) frames are urgent: racing restores QoE.
+func (s *Session) deadlineOf(f video.Frame) sim.Time {
+	if !s.playing {
+		return s.eng.Now()
+	}
+	return s.nextTickAt + sim.Time(float64(f.Index-s.playhead)/s.fps)
+}
+
+func (s *Session) allFetched() bool { return s.nextSeg >= s.numSegs }
+
+func (s *Session) maybeFetch() {
+	if s.fetching || s.allFetched() || s.done {
+		return
+	}
+	if s.BufferSec() >= s.cfg.MaxBufferSec {
+		s.draining = s.cfg.LowWaterSec > 0
+		return // re-entered from display ticks as the buffer drains
+	}
+	if s.draining {
+		if s.BufferSec() > s.cfg.LowWaterSec {
+			return // hysteresis: let the radio sleep until low water
+		}
+		s.draining = false
+	}
+	rung := s.cfg.ABR.NextRung(abr.State{
+		ThroughputBps: s.tput.Value(),
+		BufferSec:     s.BufferSec(),
+		LastRung:      s.lastRung,
+		Rates:         s.rates,
+	})
+	if s.lastRung >= 0 && rung != s.lastRung {
+		s.metrics.RungSwitches++
+	}
+	seg := s.segments[rung][s.nextSeg]
+	s.fetching = true
+	fetchStart := s.eng.Now()
+	err := s.fet.Fetch(seg.Bits, func(now sim.Time) {
+		s.fetching = false
+		if dt := (now - fetchStart).Seconds(); dt > 0 {
+			s.tput.Add(seg.Bits / dt)
+		}
+		s.lastRung = rung
+		s.nextSeg++
+		s.bitsSum += seg.Bits
+		s.segsSum++
+		for _, f := range seg.Frames {
+			s.dec.Push(f)
+		}
+		s.downLoade += len(seg.Frames)
+		s.hooks.BufferState(now, s.BufferSec(), s.dec.ReadyLen(), s.dec.Cap())
+		s.tryStartOrResume()
+		s.maybeFetch()
+	})
+	if err != nil {
+		s.fetching = false
+		if s.err == nil {
+			s.err = fmt.Errorf("player: fetch segment %d: %w", s.nextSeg, err)
+		}
+	}
+}
+
+// tryStartOrResume begins or resumes playback when enough content is
+// buffered and the next frame is decoded.
+func (s *Session) tryStartOrResume() {
+	if s.playing || s.done {
+		return
+	}
+	need := s.cfg.ResumeSec
+	if !s.started {
+		need = s.cfg.StartupSec
+	}
+	if s.BufferSec() < need && !s.allFetched() {
+		return
+	}
+	if !s.dec.Ready(s.playhead) {
+		return // decoder's OnReady will retry
+	}
+	now := s.eng.Now()
+	if !s.started {
+		s.started = true
+		s.metrics.StartupDelay = now - s.startedAt
+	} else {
+		s.metrics.RebufferTime += now - s.stallStart
+	}
+	s.playing = true
+	s.hooks.PlaybackState(now, true)
+	s.nextTickAt = now
+	s.tick()
+}
+
+func (s *Session) tick() {
+	if s.done {
+		return
+	}
+	idx := s.playhead
+	if idx >= s.total {
+		s.finish()
+		return
+	}
+	if s.dec.Ready(idx) {
+		// Advance the timeline *before* popping so the decoder's next
+		// job sees fresh deadlines and queue state.
+		s.playhead++
+		s.nextTickAt += sim.Time(1 / s.fps)
+		s.metrics.DisplayedFrames++
+		if _, ok := s.dec.Pop(idx); !ok && s.err == nil {
+			s.err = fmt.Errorf("player: frame %d vanished between Ready and Pop", idx)
+		}
+		s.afterAdvance()
+		return
+	}
+	if idx >= s.downLoade {
+		// Media buffer dry: stall.
+		s.playing = false
+		s.stallStart = s.eng.Now()
+		s.metrics.RebufferCount++
+		s.hooks.PlaybackState(s.eng.Now(), false)
+		return
+	}
+	// Downloaded but not decoded in time: drop the slot.
+	s.metrics.DroppedFrames++
+	s.playhead++
+	s.nextTickAt += sim.Time(1 / s.fps)
+	s.dec.DiscardBelow(idx + 1)
+	s.afterAdvance()
+}
+
+func (s *Session) afterAdvance() {
+	s.hooks.BufferState(s.eng.Now(), s.BufferSec(), s.dec.ReadyLen(), s.dec.Cap())
+	s.maybeFetch()
+	if s.playhead >= s.total {
+		s.finish()
+		return
+	}
+	s.tickEv = s.eng.At(s.nextTickAt, s.tick)
+}
+
+func (s *Session) finish() {
+	if s.done {
+		return
+	}
+	s.done = true
+	s.playing = false
+	now := s.eng.Now()
+	s.metrics.SessionDur = now - s.startedAt
+	s.metrics.Completed = true
+	if s.segsSum > 0 {
+		s.metrics.MeanRungBps = s.bitsSum / (float64(s.segsSum) * s.cfg.SegmentDur.Seconds())
+	}
+	if s.cfg.Meter != nil {
+		s.cfg.Meter.Set(energy.ComponentDisplay, 0)
+	}
+	if s.audioTicker != nil {
+		s.audioTicker.Stop()
+	}
+	s.hooks.PlaybackState(now, false)
+	if s.tickEv != nil {
+		s.eng.Cancel(s.tickEv)
+	}
+	for _, fn := range s.onDone {
+		fn()
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic random stream for one model component.
+//
+// Components must not share streams: derive one per component with Stream
+// so that adding draws in one component never perturbs another. RNG wraps
+// math/rand.Rand (not the global source) so runs are reproducible from the
+// root seed alone.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a stream seeded directly with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Stream derives an independent child stream from a root seed and a
+// component name. The derivation is a stable FNV-1a hash, so the same
+// (seed, name) pair always yields the same stream.
+func Stream(seed int64, name string) *RNG {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(seed) >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(name))
+	return NewRNG(int64(h.Sum64()))
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Uniform returns a uniform draw in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*g.r.Float64()
+}
+
+// Intn returns a uniform draw in [0, n). n must be positive.
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Normal returns a Gaussian draw with the given mean and standard
+// deviation.
+func (g *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*g.r.NormFloat64()
+}
+
+// Lognormal returns a draw whose logarithm is Normal(mu, sigma).
+func (g *RNG) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
+// LognormalMeanCV returns a lognormal draw parameterized by its own mean
+// and coefficient of variation (stddev/mean), which is how decode-demand
+// variability is usually reported.
+func (g *RNG) LognormalMeanCV(mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if cv <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return g.Lognormal(mu, math.Sqrt(sigma2))
+}
+
+// Exp returns an exponential draw with the given mean (not rate).
+func (g *RNG) Exp(mean float64) float64 {
+	return g.r.ExpFloat64() * mean
+}
+
+// Pareto returns a bounded Pareto-ish heavy-tailed draw with minimum xm and
+// shape alpha (> 0). Used for burst sizes.
+func (g *RNG) Pareto(xm, alpha float64) float64 {
+	u := g.r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Pick returns a random index weighted by the given non-negative weights.
+// If all weights are zero it returns 0.
+func (g *RNG) Pick(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := g.r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }

@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an event heap. Components schedule
+// closures at absolute or relative virtual times; Run drains the heap in
+// timestamp order (FIFO among equal timestamps) until the heap is empty, a
+// horizon is reached, or Stop is called. The engine is strictly
+// single-threaded: all model code runs inside event callbacks, so no model
+// state needs locking.
+//
+// All stochastic model inputs are drawn from RNG streams derived from a
+// single seed (see rng.go), which makes every simulation fully reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a virtual-time instant or span, in seconds since simulation start.
+//
+// Seconds-as-float keeps cycle/frequency arithmetic natural
+// (cycles ÷ Hz = seconds) at the cost of ~15 significant digits, which is
+// far below event granularity for the hour-scale sessions simulated here.
+type Time float64
+
+// Common spans.
+const (
+	Nanosecond  Time = 1e-9
+	Microsecond Time = 1e-6
+	Millisecond Time = 1e-3
+	Second      Time = 1
+	Minute      Time = 60
+)
+
+// Forever is a horizon later than any event a model schedules.
+const Forever Time = math.MaxFloat64
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) }
+
+// Milliseconds returns the time as a float64 millisecond count.
+func (t Time) Milliseconds() float64 { return float64(t) * 1e3 }
+
+// String formats the time with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
+
+// Event is a handle to a scheduled callback, usable for cancellation.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index; -1 once popped or canceled
+	fn       func()
+	canceled bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventHeap orders events by (at, seq) so equal-time events run FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		return
+	}
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator instance.
+//
+// The zero value is not usable; call NewEngine.
+type Engine struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	stopped bool
+	// executed counts callbacks run, for tests and runaway detection.
+	executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty heap.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of event callbacks run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled (including
+// canceled events not yet reaped).
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn after delay (relative to Now). A negative delay is
+// clamped to zero so causality is preserved. It returns a handle usable
+// with Cancel.
+func (e *Engine) Schedule(delay Time, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time t, clamped to Now if already past.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.heap, ev)
+	return ev
+}
+
+// Cancel prevents a scheduled event from running. Canceling an event that
+// already ran, or canceling twice, is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.canceled || ev.index < 0 {
+		if ev != nil {
+			ev.canceled = true
+		}
+		return
+	}
+	ev.canceled = true
+	heap.Remove(&e.heap, ev.index)
+	ev.index = -1
+}
+
+// Stop makes the current Run return after the in-flight callback.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run drains the event heap until empty or Stop is called. It returns the
+// final virtual time.
+func (e *Engine) Run() Time { return e.RunUntil(Forever) }
+
+// RunUntil drains events with timestamps ≤ horizon. Events scheduled beyond
+// the horizon remain pending; the clock is advanced to the horizon if the
+// heap empties earlier than horizon only when horizon is finite.
+func (e *Engine) RunUntil(horizon Time) Time {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if next.at > horizon {
+			break
+		}
+		popped, ok := heap.Pop(&e.heap).(*Event)
+		if !ok {
+			break
+		}
+		if popped.canceled {
+			continue
+		}
+		e.now = popped.at
+		e.executed++
+		popped.fn()
+	}
+	if horizon != Forever && e.now < horizon && !e.stopped {
+		e.now = horizon
+	}
+	return e.now
+}

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleRun measures raw event throughput: schedule and
+// drain 1k events per iteration.
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine()
+		for j := 0; j < 1000; j++ {
+			eng.Schedule(Time(j)*Millisecond, func() {})
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkEngineNestedChain measures the self-scheduling pattern the
+// decoder and tickers use.
+func BenchmarkEngineNestedChain(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := NewEngine()
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < 1000 {
+				eng.Schedule(Millisecond, step)
+			}
+		}
+		eng.Schedule(Millisecond, step)
+		eng.Run()
+	}
+}
+
+// BenchmarkRNGLognormal measures the hot demand-jitter draw.
+func BenchmarkRNGLognormal(b *testing.B) {
+	g := Stream(1, "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = g.LognormalMeanCV(1e7, 0.3)
+	}
+}

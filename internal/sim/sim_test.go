@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.Schedule(3*Second, func() { order = append(order, 3) })
+	eng.Schedule(1*Second, func() { order = append(order, 1) })
+	eng.Schedule(2*Second, func() { order = append(order, 2) })
+	end := eng.Run()
+	if end != 3*Second {
+		t.Fatalf("end time = %v, want 3s", end)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineFIFOAmongEqualTimestamps(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(Second, func() { order = append(order, i) })
+	}
+	eng.Run()
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("equal-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNowAdvancesInsideCallbacks(t *testing.T) {
+	eng := NewEngine()
+	var at Time
+	eng.Schedule(5*Second, func() { at = eng.Now() })
+	eng.Run()
+	if at != 5*Second {
+		t.Fatalf("Now inside callback = %v, want 5s", at)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	eng := NewEngine()
+	var hits []Time
+	eng.Schedule(Second, func() {
+		hits = append(hits, eng.Now())
+		eng.Schedule(Second, func() { hits = append(hits, eng.Now()) })
+	})
+	eng.Run()
+	if len(hits) != 2 || hits[0] != Second || hits[1] != 2*Second {
+		t.Fatalf("hits = %v, want [1s 2s]", hits)
+	}
+}
+
+func TestEngineNegativeDelayClampsToNow(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	eng.Schedule(Second, func() {
+		eng.Schedule(-5*Second, func() {
+			ran = true
+			if eng.Now() != Second {
+				t.Errorf("clamped event at %v, want 1s", eng.Now())
+			}
+		})
+	})
+	eng.Run()
+	if !ran {
+		t.Fatal("clamped event did not run")
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	ev := eng.Schedule(Second, func() { ran = true })
+	eng.Cancel(ev)
+	eng.Cancel(ev) // double cancel is a no-op
+	eng.Run()
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
+}
+
+func TestEngineCancelFromInsideEarlierEvent(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	victim := eng.Schedule(2*Second, func() { ran = true })
+	eng.Schedule(Second, func() { eng.Cancel(victim) })
+	eng.Run()
+	if ran {
+		t.Fatal("event canceled mid-run still ran")
+	}
+}
+
+func TestEngineRunUntilHorizon(t *testing.T) {
+	eng := NewEngine()
+	var ran []int
+	eng.Schedule(Second, func() { ran = append(ran, 1) })
+	eng.Schedule(10*Second, func() { ran = append(ran, 10) })
+	end := eng.RunUntil(5 * Second)
+	if end != 5*Second {
+		t.Fatalf("RunUntil = %v, want 5s", end)
+	}
+	if len(ran) != 1 || ran[0] != 1 {
+		t.Fatalf("ran = %v, want [1]", ran)
+	}
+	// Resume: the 10 s event should still be pending.
+	end = eng.Run()
+	if end != 10*Second || len(ran) != 2 {
+		t.Fatalf("resume: end=%v ran=%v", end, ran)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	for i := 1; i <= 5; i++ {
+		eng.Schedule(Time(i)*Second, func() {
+			count++
+			if count == 2 {
+				eng.Stop()
+			}
+		})
+	}
+	eng.Run()
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (Stop should halt the loop)", count)
+	}
+	if eng.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", eng.Pending())
+	}
+}
+
+func TestEngineExecutedCounter(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 7; i++ {
+		eng.Schedule(Second, func() {})
+	}
+	eng.Run()
+	if eng.Executed() != 7 {
+		t.Fatalf("Executed = %d, want 7", eng.Executed())
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	eng := NewEngine()
+	var ticks []Time
+	tk := NewTicker(eng, 100*Millisecond, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 5 {
+			eng.Stop()
+		}
+	})
+	defer tk.Stop()
+	eng.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, tt := range ticks {
+		want := Time(i+1) * 100 * Millisecond
+		if math.Abs(float64(tt-want)) > 1e-12 {
+			t.Fatalf("tick %d at %v, want %v", i, tt, want)
+		}
+	}
+}
+
+func TestTickerStopPreventsFurtherTicks(t *testing.T) {
+	eng := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(eng, Second, func(now Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	eng.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestTimeoutResetPushesExpiry(t *testing.T) {
+	eng := NewEngine()
+	var fired Time
+	to := NewTimeout(eng, 4*Second, func(now Time) { fired = now })
+	to.Reset()
+	// Activity at t=2s resets the tail timer; expiry moves to t=6s.
+	eng.Schedule(2*Second, func() { to.Reset() })
+	eng.Run()
+	if fired != 6*Second {
+		t.Fatalf("timeout fired at %v, want 6s", fired)
+	}
+}
+
+func TestTimeoutStopDisarms(t *testing.T) {
+	eng := NewEngine()
+	fired := false
+	to := NewTimeout(eng, Second, func(now Time) { fired = true })
+	to.Reset()
+	if !to.Armed() {
+		t.Fatal("Armed() = false after Reset")
+	}
+	to.Stop()
+	if to.Armed() {
+		t.Fatal("Armed() = true after Stop")
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("stopped timeout fired")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := Stream(42, "decoder")
+	b := Stream(42, "decoder")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same (seed,name) streams diverged")
+		}
+	}
+}
+
+func TestRNGStreamsIndependentByName(t *testing.T) {
+	a := Stream(42, "decoder")
+	b := Stream(42, "network")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different names look identical (%d/100 equal)", same)
+	}
+}
+
+func TestRNGLognormalMeanCVMatchesMoments(t *testing.T) {
+	g := Stream(7, "lognormal")
+	const n = 200000
+	mean, cv := 5.0, 0.4
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		x := g.LognormalMeanCV(mean, cv)
+		if x <= 0 {
+			t.Fatal("lognormal draw not positive")
+		}
+		sum += x
+		sumsq += x * x
+	}
+	m := sum / n
+	v := sumsq/n - m*m
+	if math.Abs(m-mean) > 0.05*mean {
+		t.Fatalf("sample mean %.3f, want ≈ %.3f", m, mean)
+	}
+	wantSD := cv * mean
+	if math.Abs(math.Sqrt(v)-wantSD) > 0.1*wantSD {
+		t.Fatalf("sample sd %.3f, want ≈ %.3f", math.Sqrt(v), wantSD)
+	}
+}
+
+func TestRNGLognormalDegenerateCases(t *testing.T) {
+	g := Stream(7, "deg")
+	if got := g.LognormalMeanCV(0, 0.5); got != 0 {
+		t.Fatalf("mean 0 should return 0, got %v", got)
+	}
+	if got := g.LognormalMeanCV(3, 0); got != 3 {
+		t.Fatalf("cv 0 should return the mean, got %v", got)
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	g := Stream(1, "uniform")
+	f := func(loRaw, span uint16) bool {
+		lo := float64(loRaw)
+		hi := lo + float64(span) + 1
+		x := g.Uniform(lo, hi)
+		return x >= lo && x < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGPickRespectsWeights(t *testing.T) {
+	g := Stream(9, "pick")
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[g.Pick([]float64{1, 2, 7})]++
+	}
+	if !(counts[2] > counts[1] && counts[1] > counts[0]) {
+		t.Fatalf("weighted pick ordering wrong: %v", counts)
+	}
+	if got := g.Pick([]float64{0, 0, 0}); got != 0 {
+		t.Fatalf("all-zero weights should return 0, got %d", got)
+	}
+}
+
+func TestRNGParetoMinimum(t *testing.T) {
+	g := Stream(3, "pareto")
+	for i := 0; i < 1000; i++ {
+		if x := g.Pareto(2, 1.5); x < 2 {
+			t.Fatalf("pareto draw %v below minimum 2", x)
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tt := 1500 * Millisecond
+	if tt.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", tt.Seconds())
+	}
+	if tt.Milliseconds() != 1500 {
+		t.Fatalf("Milliseconds = %v", tt.Milliseconds())
+	}
+	if tt.String() != "1.500s" {
+		t.Fatalf("String = %q", tt.String())
+	}
+}
+
+// Property: for any batch of events with arbitrary delays, the engine runs
+// them in nondecreasing time order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		eng := NewEngine()
+		var seen []Time
+		for _, d := range delays {
+			eng.Schedule(Time(d)*Millisecond, func() { seen = append(seen, eng.Now()) })
+		}
+		eng.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

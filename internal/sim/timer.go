@@ -1,0 +1,79 @@
+package sim
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// It is the simulation analogue of a kernel sampling timer (e.g. the
+// cpufreq governor sampling interval).
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func(now Time)
+	pending *Event
+	stopped bool
+}
+
+// NewTicker schedules fn every period, first firing one period from now.
+// period must be positive.
+func NewTicker(eng *Engine, period Time, fn func(now Time)) *Ticker {
+	t := &Ticker{eng: eng, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.eng.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.eng.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.pending != nil {
+		t.eng.Cancel(t.pending)
+	}
+}
+
+// Timeout is a restartable one-shot timer, the simulation analogue of the
+// RRC inactivity ("tail") timers: each Reset pushes the expiry out, Stop
+// disarms it, and fn runs only if the timer is allowed to expire.
+type Timeout struct {
+	eng     *Engine
+	d       Time
+	fn      func(now Time)
+	pending *Event
+}
+
+// NewTimeout returns a disarmed timeout that, when armed, fires fn after d.
+func NewTimeout(eng *Engine, d Time, fn func(now Time)) *Timeout {
+	return &Timeout{eng: eng, d: d, fn: fn}
+}
+
+// Reset (re)arms the timeout to fire its callback d from now, canceling any
+// pending expiry.
+func (t *Timeout) Reset() {
+	t.Stop()
+	t.pending = t.eng.Schedule(t.d, func() {
+		t.pending = nil
+		t.fn(t.eng.Now())
+	})
+}
+
+// Stop disarms the timeout if armed.
+func (t *Timeout) Stop() {
+	if t.pending != nil {
+		t.eng.Cancel(t.pending)
+		t.pending = nil
+	}
+}
+
+// Armed reports whether an expiry is pending.
+func (t *Timeout) Armed() bool { return t.pending != nil }

@@ -1,0 +1,80 @@
+package video
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"videodvfs/internal/sim"
+)
+
+// WriteTrace emits the stream's frames as CSV with a header row:
+// index,type,pts_s,bits,cycles. The spec itself is not serialized; traces
+// are raw workloads.
+func WriteTrace(w io.Writer, s *Stream) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"index", "type", "pts_s", "bits", "cycles"}); err != nil {
+		return fmt.Errorf("video: write trace header: %w", err)
+	}
+	for _, f := range s.Frames {
+		rec := []string{
+			strconv.Itoa(f.Index),
+			f.Type.String(),
+			strconv.FormatFloat(f.PTS.Seconds(), 'g', 17, 64),
+			strconv.FormatFloat(f.Bits, 'g', 17, 64),
+			strconv.FormatFloat(f.Cycles, 'g', 17, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("video: write trace row %d: %w", f.Index, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV frame trace produced by WriteTrace. The returned
+// stream carries the given spec (traces do not embed one); fps must match
+// the trace's frame spacing for deadlines to be meaningful.
+func ReadTrace(r io.Reader, spec Spec) (*Stream, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("video: read trace header: %w", err)
+	}
+	if len(header) != 5 || header[0] != "index" {
+		return nil, fmt.Errorf("video: unexpected trace header %v", header)
+	}
+	var frames []Frame
+	for row := 1; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("video: read trace row %d: %w", row, err)
+		}
+		idx, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("video: trace row %d index: %w", row, err)
+		}
+		ft, err := ParseFrameType(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("video: trace row %d: %w", row, err)
+		}
+		pts, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("video: trace row %d pts: %w", row, err)
+		}
+		bits, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("video: trace row %d bits: %w", row, err)
+		}
+		cycles, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("video: trace row %d cycles: %w", row, err)
+		}
+		frames = append(frames, Frame{Index: idx, Type: ft, PTS: sim.Time(pts), Bits: bits, Cycles: cycles})
+	}
+	return &Stream{Spec: spec, Frames: frames}, nil
+}

@@ -1,0 +1,135 @@
+// Package videodvfs is an energy-aware CPU frequency scaling (DVFS) policy
+// for mobile video streaming, together with the full simulation substrate
+// needed to evaluate it: a mobile SoC CPU model with OPP tables and a
+// calibrated power curve, faithful re-implementations of the Linux cpufreq
+// governors, a synthetic-but-calibrated video decode workload, a streaming
+// player with ABR, and a 3G/LTE radio model with RRC state power
+// accounting.
+//
+// The headline API is Run: configure a streaming session (device,
+// governor, content, network) and get back energy and QoE. Experiment
+// regenerates any table or figure of the evaluation.
+//
+//	res, err := videodvfs.Run(videodvfs.DefaultSession())
+//	if err != nil { ... }
+//	fmt.Printf("CPU energy: %.1f J, dropped: %d\n", res.CPUJ, res.QoE.DroppedFrames)
+//
+// The policy itself lives in internal/core and plugs into the player via
+// session hooks; see DESIGN.md for the architecture and EXPERIMENTS.md for
+// the reproduced evaluation.
+package videodvfs
+
+import (
+	"videodvfs/internal/core"
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/governor"
+	"videodvfs/internal/player"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
+)
+
+// Aliases exposing the library's data types through the public package.
+type (
+	// Device is a CPU model: OPP table, power curve, DVFS latency.
+	Device = cpu.Model
+	// OPP is one CPU operating performance point.
+	OPP = cpu.OPP
+	// PolicyConfig tunes the energy-aware governor.
+	PolicyConfig = core.Config
+	// Title is a video content profile.
+	Title = video.Title
+	// Resolution is a frame-size preset.
+	Resolution = video.Resolution
+	// QoE is the player's quality-of-experience report.
+	QoE = player.Metrics
+	// RunConfig describes one streaming simulation.
+	RunConfig = experiments.RunConfig
+	// RunResult is the outcome of one streaming simulation.
+	RunResult = experiments.RunResult
+	// Table is a reproduced table or figure.
+	Table = experiments.Table
+	// NetKind selects a bandwidth profile.
+	NetKind = experiments.NetKind
+	// Time is a virtual-time instant or span in seconds.
+	Time = sim.Time
+	// ClusterResult is the outcome of a big.LITTLE session.
+	ClusterResult = experiments.ClusterResult
+)
+
+// Network profiles.
+const (
+	// NetWiFi is a steady 30 Mbps link.
+	NetWiFi = experiments.NetWiFi
+	// NetLTE is a Markov-modulated LTE trace.
+	NetLTE = experiments.NetLTE
+	// NetUMTS is a Markov-modulated 3G trace.
+	NetUMTS = experiments.NetUMTS
+	// NetConst8 is a constant 8 Mbps link.
+	NetConst8 = experiments.NetConst8
+)
+
+// Common time spans.
+const (
+	// Millisecond is one virtual millisecond.
+	Millisecond = sim.Millisecond
+	// Second is one virtual second.
+	Second = sim.Second
+	// Minute is one virtual minute.
+	Minute = sim.Minute
+)
+
+// Devices returns the built-in CPU models (flagship, midrange, efficient).
+func Devices() []Device { return cpu.Devices() }
+
+// DeviceByName returns a built-in CPU model.
+func DeviceByName(name string) (Device, error) { return cpu.DeviceByName(name) }
+
+// Titles returns the built-in content profiles (news, sports, animation).
+func Titles() []Title { return video.Titles() }
+
+// TitleByName returns a built-in content profile.
+func TitleByName(name string) (Title, error) { return video.TitleByName(name) }
+
+// Resolutions returns the standard ladder (360p–1080p).
+func Resolutions() []Resolution { return video.Resolutions() }
+
+// ResolutionByName returns a standard resolution.
+func ResolutionByName(name string) (Resolution, error) { return video.ResolutionByName(name) }
+
+// GovernorNames returns every governor Run accepts: the stock baselines
+// plus "energyaware" and "oracle".
+func GovernorNames() []string {
+	return append(governor.BaselineNames(), "energyaware", "oracle")
+}
+
+// DefaultPolicy returns the paper-default tuning of the energy-aware
+// governor.
+func DefaultPolicy() PolicyConfig { return core.DefaultConfig() }
+
+// DefaultSession returns the evaluation's base case: flagship device,
+// energy-aware governor, 720p sports over a constant 8 Mbps link, 60 s.
+func DefaultSession() RunConfig { return experiments.DefaultRunConfig() }
+
+// Run executes one streaming simulation.
+func Run(cfg RunConfig) (RunResult, error) { return experiments.Run(cfg) }
+
+// RunCluster simulates a streaming session on a big.LITTLE device
+// (flagship big + efficient little). With clusterAware set, the
+// cluster-extension governor places decode work across both domains;
+// otherwise the single-core policy drives the big cluster only.
+func RunCluster(res Resolution, dur Time, seed int64, clusterAware bool) (ClusterResult, error) {
+	return experiments.RunCluster(res, dur, seed, clusterAware)
+}
+
+// ExperimentIDs lists the reproducible tables and figures in report order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Experiment regenerates one table or figure by ID (t1, f1 … f13, t2, t3).
+func Experiment(id string) (Table, error) {
+	b, err := experiments.Get(id)
+	if err != nil {
+		return Table{}, err
+	}
+	return b()
+}

@@ -1,0 +1,66 @@
+package videodvfs
+
+import "testing"
+
+func TestFacadeRun(t *testing.T) {
+	cfg := DefaultSession()
+	cfg.Duration = 20 * Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.QoE.Completed || res.CPUJ <= 0 {
+		t.Fatalf("facade run broken: %+v", res)
+	}
+}
+
+func TestFacadeCatalogs(t *testing.T) {
+	if len(Devices()) != 3 {
+		t.Fatalf("devices = %d", len(Devices()))
+	}
+	if len(Titles()) != 3 {
+		t.Fatalf("titles = %d", len(Titles()))
+	}
+	if len(Resolutions()) != 4 {
+		t.Fatalf("resolutions = %d", len(Resolutions()))
+	}
+	if len(ExperimentIDs()) != 28 {
+		t.Fatalf("experiments = %d", len(ExperimentIDs()))
+	}
+	govs := GovernorNames()
+	found := map[string]bool{}
+	for _, g := range govs {
+		found[g] = true
+	}
+	if !found["energyaware"] || !found["oracle"] || !found["ondemand"] {
+		t.Fatalf("governor list incomplete: %v", govs)
+	}
+}
+
+func TestFacadeLookups(t *testing.T) {
+	if _, err := DeviceByName("flagship"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TitleByName("sports"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResolutionByName("720p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := DefaultPolicy().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	tab, err := Experiment("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "t1" || len(tab.Rows) == 0 {
+		t.Fatalf("experiment t1 broken: %+v", tab)
+	}
+	if _, err := Experiment("nope"); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
