@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: check vet build test golden bench
+
+# The full gate: vet, build, race-enabled tests (includes the golden
+# regression suite and the parallel/serial equivalence test).
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Regenerate the pinned experiment outputs after an intended model
+# change, then review the diff like any other code change.
+golden:
+	$(GO) test ./internal/experiments -run TestGoldenTables -update
+
+# Rebuild the whole evaluation through the campaign pool, serial vs
+# parallel.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchtime 3x .

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"testing"
 
+	"videodvfs/internal/campaign"
 	"videodvfs/internal/experiments"
 )
 
@@ -148,3 +149,33 @@ func BenchmarkTableT7_UsageSession(b *testing.B) { benchExperiment(b, "t7") }
 // BenchmarkFigF21_SMP regenerates Figure 21 (shared-clock SMP /
 // consolidation trade, extension).
 func BenchmarkFigF21_SMP(b *testing.B) { benchExperiment(b, "f21") }
+
+// benchRegistry rebuilds every experiment through the campaign pool at
+// the given worker count. The serial/parallel pair measures the
+// end-to-end speedup of the parallel campaign runner; output is
+// identical at every width, so only wall-clock differs.
+func benchRegistry(b *testing.B, workers int) {
+	b.Helper()
+	ids := experiments.IDs()
+	for i := 0; i < b.N; i++ {
+		jobs := make([]campaign.Job[experiments.Table], len(ids))
+		for j, id := range ids {
+			builder, err := experiments.Get(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs[j] = func() (experiments.Table, error) { return builder() }
+		}
+		outs := campaign.Do(jobs, campaign.Options[experiments.Table]{Workers: workers})
+		if _, err := campaign.Values(outs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegistrySerial rebuilds all 28 experiments on one worker.
+func BenchmarkRegistrySerial(b *testing.B) { benchRegistry(b, 1) }
+
+// BenchmarkRegistryParallel rebuilds all 28 experiments across
+// GOMAXPROCS workers (identical output, less wall-clock on multicore).
+func BenchmarkRegistryParallel(b *testing.B) { benchRegistry(b, 0) }

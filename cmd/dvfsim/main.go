@@ -1,11 +1,14 @@
 // Command dvfsim runs one streaming-DVFS simulation and prints a full
 // report: energy per component, QoE, frequency residency, and radio state
-// residency.
+// residency. Batch mode (-batch N) fans the same session across N seeds
+// through the campaign worker pool and prints per-seed lines plus
+// aggregate statistics.
 //
 // Usage:
 //
 //	dvfsim -governor energyaware -res 720p -title sports -net const8 \
 //	       -duration 60 -seed 1
+//	dvfsim -batch 16 -parallel 8   # seeds 1..16, aggregate stats
 package main
 
 import (
@@ -15,12 +18,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 
 	"videodvfs"
 	"videodvfs/internal/netsim"
+	"videodvfs/internal/stats"
 	"videodvfs/internal/video"
 )
 
@@ -49,6 +54,8 @@ func run(args []string) error {
 		tracePath    = fs.String("videotrace", "", "replay a CSV frame trace (from tracegen) instead of generating one")
 		jsonOut      = fs.Bool("json", false, "emit the result as JSON instead of the text report")
 		timelinePath = fs.String("timeline", "", "write a 100 ms time-series CSV (t_s, freq_ghz, cpu_w, buffer_s) for plotting")
+		batch        = fs.Int("batch", 0, "run N sessions with seeds seed..seed+N-1 and report aggregate stats")
+		parallel     = fs.Int("parallel", runtime.NumCPU(), "worker count for -batch")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +106,13 @@ func run(args []string) error {
 		cfg.Duration = 0 // derive from the trace
 	}
 
+	if *batch > 0 {
+		if *timelinePath != "" {
+			return fmt.Errorf("-timeline is per-run and incompatible with -batch")
+		}
+		return batchRun(os.Stdout, cfg, *batch, *parallel, *jsonOut)
+	}
+
 	var timeline *csv.Writer
 	if *timelinePath != "" {
 		f, terr := os.Create(*timelinePath)
@@ -136,9 +150,84 @@ func run(args []string) error {
 	return nil
 }
 
+// batchRun fans cfg across n seeds through the campaign pool and reports
+// per-seed lines plus aggregate statistics (or a JSON array with -json).
+func batchRun(w io.Writer, cfg videodvfs.RunConfig, n, workers int, jsonOut bool) error {
+	cfgs := make([]videodvfs.RunConfig, n)
+	for i := range cfgs {
+		cfgs[i] = cfg
+		cfgs[i].Seed = cfg.Seed + int64(i)
+	}
+	outs := videodvfs.RunAll(cfgs, workers)
+
+	if jsonOut {
+		docs := make([]map[string]any, 0, n)
+		for _, o := range outs {
+			if o.Err != nil {
+				return fmt.Errorf("seed %d: %w", o.Config.Seed, o.Err)
+			}
+			doc := flatDoc(o.Result)
+			doc["seed"] = o.Config.Seed
+			docs = append(docs, doc)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(docs)
+	}
+
+	fmt.Fprintf(w, "batch: %d sessions, %s %s %s over %s, governor=%s abr=%s seeds=%d..%d\n\n",
+		n, cfg.Device.Name, cfg.Title.Name, cfg.Rung.Name, cfg.Net, cfg.Governor, cfg.ABR,
+		cfg.Seed, cfg.Seed+int64(n-1))
+	type metric struct {
+		name string
+		of   func(videodvfs.RunResult) float64
+		acc  stats.Online
+	}
+	metrics := []*metric{
+		{name: "cpu_j", of: func(r videodvfs.RunResult) float64 { return r.CPUJ }},
+		{name: "radio_j", of: func(r videodvfs.RunResult) float64 { return r.RadioJ }},
+		{name: "total_j", of: func(r videodvfs.RunResult) float64 { return r.TotalJ() }},
+		{name: "mean_ghz", of: func(r videodvfs.RunResult) float64 { return r.MeanFreqGHz }},
+		{name: "startup_s", of: func(r videodvfs.RunResult) float64 { return r.QoE.StartupDelay.Seconds() }},
+		{name: "rebuf_s", of: func(r videodvfs.RunResult) float64 { return r.QoE.RebufferTime.Seconds() }},
+		{name: "drops", of: func(r videodvfs.RunResult) float64 { return float64(r.QoE.DroppedFrames) }},
+	}
+	failed := 0
+	for _, o := range outs {
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(w, "  seed %-4d FAILED: %v\n", o.Config.Seed, o.Err)
+			continue
+		}
+		fmt.Fprintf(w, "  seed %-4d cpu %7.1f J  radio %7.1f J  total %7.1f J  drops %3d  rebuf %5.2f s\n",
+			o.Config.Seed, o.Result.CPUJ, o.Result.RadioJ, o.Result.TotalJ(),
+			o.Result.QoE.DroppedFrames, o.Result.QoE.RebufferTime.Seconds())
+		for _, m := range metrics {
+			m.acc.Add(m.of(o.Result))
+		}
+	}
+	fmt.Fprintf(w, "\naggregate over %d runs (%d failed):\n", n-failed, failed)
+	fmt.Fprintf(w, "  %-10s %10s %10s %10s %10s\n", "metric", "mean", "std", "min", "max")
+	for _, m := range metrics {
+		fmt.Fprintf(w, "  %-10s %10.2f %10.2f %10.2f %10.2f\n",
+			m.name, m.acc.Mean(), m.acc.Std(), m.acc.Min(), m.acc.Max())
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d runs failed", failed, n)
+	}
+	return nil
+}
+
 // reportJSON emits the result as a flat JSON document for scripting.
 func reportJSON(w io.Writer, res videodvfs.RunResult) error {
-	doc := map[string]any{
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(flatDoc(res))
+}
+
+// flatDoc flattens a result into the scripting-friendly JSON shape.
+func flatDoc(res videodvfs.RunResult) map[string]any {
+	return map[string]any{
 		"governor":        res.Governor,
 		"cpuJ":            res.CPUJ,
 		"radioJ":          res.RadioJ,
@@ -158,9 +247,6 @@ func reportJSON(w io.Writer, res videodvfs.RunResult) error {
 		"radioPromotions": res.RadioPromotions,
 		"fetches":         res.Fetches,
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
 }
 
 func report(cfg videodvfs.RunConfig, res videodvfs.RunResult) {

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 
+	"videodvfs"
 	"videodvfs/internal/sim"
 	"videodvfs/internal/video"
 )
@@ -79,6 +82,70 @@ func TestTraceReplay(t *testing.T) {
 	}
 	if err := run([]string{"-videotrace", dir + "/missing.csv"}); err == nil {
 		t.Fatal("want error for missing trace file")
+	}
+}
+
+func TestBatchText(t *testing.T) {
+	var buf strings.Builder
+	cfg := videodvfs.DefaultSession()
+	cfg.Duration = 8 * sim.Second
+	if err := batchRun(&buf, cfg, 3, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"batch: 3 sessions", "seeds=1..3", "seed 1", "seed 3", "aggregate over 3 runs (0 failed)", "cpu_j", "mean_ghz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBatchJSON(t *testing.T) {
+	var buf strings.Builder
+	cfg := videodvfs.DefaultSession()
+	cfg.Duration = 8 * sim.Second
+	if err := batchRun(&buf, cfg, 2, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	var docs []map[string]any
+	if err := json.Unmarshal([]byte(buf.String()), &docs); err != nil {
+		t.Fatalf("batch -json is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(docs) != 2 {
+		t.Fatalf("got %d docs, want 2", len(docs))
+	}
+	if docs[0]["seed"] != float64(1) || docs[1]["seed"] != float64(2) {
+		t.Fatalf("seeds out of order: %v, %v", docs[0]["seed"], docs[1]["seed"])
+	}
+	if docs[0]["cpuJ"] == nil || docs[0]["completed"] != true {
+		t.Fatalf("doc missing fields: %v", docs[0])
+	}
+}
+
+func TestBatchReportsFailures(t *testing.T) {
+	var buf strings.Builder
+	cfg := videodvfs.DefaultSession()
+	// A 5 s horizon starves every 60 s session: all runs must fail and
+	// batchRun must say so rather than print empty aggregates quietly.
+	cfg.Horizon = 5 * sim.Second
+	err := batchRun(&buf, cfg, 2, 1, false)
+	if err == nil {
+		t.Fatal("want error when every run fails")
+	}
+	if !strings.Contains(err.Error(), "2 of 2 runs failed") {
+		t.Fatalf("error should count failures: %v", err)
+	}
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Fatalf("report should mark failed seeds:\n%s", buf.String())
+	}
+}
+
+func TestBatchFlagWiring(t *testing.T) {
+	if err := run([]string{"-batch", "2", "-duration", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-batch", "2", "-duration", "5", "-timeline", t.TempDir() + "/x.csv"}); err == nil {
+		t.Fatal("want error for -batch with -timeline")
 	}
 }
 

@@ -1,19 +1,28 @@
 // Command exprun regenerates the evaluation's tables and figures.
 //
+// Experiments fan out through the campaign worker pool at two levels:
+// whole experiments run concurrently (-parallel), and each experiment's
+// own config grid is batched across GOMAXPROCS workers internally. Every
+// run is deterministic, so output is byte-identical for any worker count.
+//
 // Usage:
 //
-//	exprun              # run every experiment
-//	exprun -list        # list experiment IDs
-//	exprun -exp f5,f6   # run selected experiments
+//	exprun                    # run every experiment
+//	exprun -list              # list experiment IDs
+//	exprun -exp f5,f6         # run selected experiments
+//	exprun -parallel 8        # experiment-level worker count
+//	exprun -progress          # campaign progress on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"videodvfs"
+	"videodvfs/internal/campaign"
 )
 
 func main() {
@@ -26,9 +35,11 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("exprun", flag.ContinueOnError)
 	var (
-		list   = fs.Bool("list", false, "list experiment IDs and exit")
-		exp    = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
-		format = fs.String("format", "text", "output format: text, markdown, csv")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		exp      = fs.String("exp", "", "comma-separated experiment IDs (default: all)")
+		format   = fs.String("format", "text", "output format: text, markdown, csv")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "experiments built concurrently (each batches its own runs internally)")
+		progress = fs.Bool("progress", false, "print campaign progress to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,16 +54,34 @@ func run(args []string) error {
 	if *exp != "" {
 		ids = strings.Split(*exp, ",")
 	}
-	for _, id := range ids {
-		tab, err := videodvfs.Experiment(strings.TrimSpace(id))
-		if err != nil {
-			return err
+	for i, id := range ids {
+		ids[i] = strings.TrimSpace(id)
+	}
+
+	jobs := make([]campaign.Job[string], len(ids))
+	for i, id := range ids {
+		id := id
+		format := *format
+		jobs[i] = func() (string, error) {
+			tab, err := videodvfs.Experiment(id)
+			if err != nil {
+				return "", err
+			}
+			return tab.Render(format)
 		}
-		out, err := tab.Render(*format)
-		if err != nil {
-			return err
+	}
+	var obs campaign.Observer
+	if *progress {
+		obs = &campaign.LogObserver{W: os.Stderr, Every: 1}
+	}
+	outs := campaign.Do(jobs, campaign.Options[string]{Workers: *parallel, Observer: obs})
+	// Print in input order; fail on the first error but keep the tables
+	// that did build ahead of it.
+	for i, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("%s: %w", ids[i], o.Err)
 		}
-		fmt.Println(out)
+		fmt.Println(o.Value)
 	}
 	return nil
 }

@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videodvfs/internal/campaign"
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/stats"
+	"videodvfs/internal/video"
+)
+
+// Outcome pairs one RunConfig with its result or error in a batch.
+type Outcome struct {
+	// Index is the config's position in the input slice.
+	Index int
+	// Config is the config that ran.
+	Config RunConfig
+	// Result is the run's outcome (zero when Err is set).
+	Result RunResult
+	// Err is the run's error; a panicking run surfaces a
+	// *campaign.PanicError.
+	Err error
+}
+
+// RunAll executes cfgs across a worker pool and returns outcomes in input
+// order. workers ≤ 0 means GOMAXPROCS. Each run builds its own engine and
+// derives all randomness from its seed, so results are bit-identical for
+// any worker count; a failing or panicking run marks only its own slot.
+func RunAll(cfgs []RunConfig, workers int) []Outcome {
+	return RunAllObserved(cfgs, workers, nil)
+}
+
+// RunAllObserved is RunAll with a progress observer attached.
+func RunAllObserved(cfgs []RunConfig, workers int, obs campaign.Observer) []Outcome {
+	jobs := make([]campaign.Job[RunResult], len(cfgs))
+	for i, cfg := range cfgs {
+		cfg := cfg
+		jobs[i] = func() (RunResult, error) { return Run(cfg) }
+	}
+	raw := campaign.Do(jobs, campaign.Options[RunResult]{
+		Workers:  workers,
+		Observer: obs,
+		Virtual:  func(r RunResult) sim.Time { return r.SimEnd },
+	})
+	outs := make([]Outcome, len(raw))
+	for i, o := range raw {
+		outs[i] = Outcome{Index: i, Config: cfgs[i], Result: o.Value, Err: o.Err}
+	}
+	return outs
+}
+
+// runAllStrict batches cfgs across GOMAXPROCS workers and returns results
+// in input order, failing on the first per-run error. It is the builders'
+// workhorse: table code assembles its config grid, fans it out here, and
+// formats rows from the ordered results.
+func runAllStrict(cfgs []RunConfig) ([]RunResult, error) {
+	outs := RunAll(cfgs, 0)
+	res := make([]RunResult, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, fmt.Errorf("run %d (%s/%s/%s/%s seed %d): %w",
+				i, o.Config.Governor, o.Config.Rung.Name, o.Config.Title.Name, o.Config.Net, o.Config.Seed, o.Err)
+		}
+		res[i] = o.Result
+	}
+	return res, nil
+}
+
+// Sweep expands a template config over axis lists and a seed set. Axes
+// left nil keep the template's value; the expansion is the cross product
+// in declaration order (governor-major, seed-minor), so the result order
+// is deterministic and independent of the worker count that later runs
+// it.
+type Sweep struct {
+	// Base is the config template every point starts from.
+	Base RunConfig
+	// Governors is the governor axis (nil = Base.Governor only).
+	Governors []string
+	// Nets is the network axis (nil = Base.Net only).
+	Nets []NetKind
+	// Devices is the device axis (nil = Base.Device only).
+	Devices []cpu.Model
+	// Titles is the content axis (nil = Base.Title only).
+	Titles []video.Title
+	// Rungs is the resolution axis (nil = Base.Rung only).
+	Rungs []video.Resolution
+	// Seeds is the seed axis (nil = Base.Seed only).
+	Seeds []int64
+}
+
+// SeedRange returns the seeds lo..hi inclusive.
+func SeedRange(lo, hi int64) []int64 {
+	if hi < lo {
+		return nil
+	}
+	out := make([]int64, 0, hi-lo+1)
+	for s := lo; s <= hi; s++ {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Expand returns every point of the sweep as a concrete RunConfig.
+func (s Sweep) Expand() []RunConfig {
+	govs := s.Governors
+	if len(govs) == 0 {
+		govs = []string{s.Base.Governor}
+	}
+	nets := s.Nets
+	if len(nets) == 0 {
+		nets = []NetKind{s.Base.Net}
+	}
+	devs := s.Devices
+	if len(devs) == 0 {
+		devs = []cpu.Model{s.Base.Device}
+	}
+	titles := s.Titles
+	if len(titles) == 0 {
+		titles = []video.Title{s.Base.Title}
+	}
+	rungs := s.Rungs
+	if len(rungs) == 0 {
+		rungs = []video.Resolution{s.Base.Rung}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{s.Base.Seed}
+	}
+	out := make([]RunConfig, 0, len(govs)*len(nets)*len(devs)*len(titles)*len(rungs)*len(seeds))
+	for _, gov := range govs {
+		for _, net := range nets {
+			for _, dev := range devs {
+				for _, title := range titles {
+					for _, rung := range rungs {
+						for _, seed := range seeds {
+							cfg := s.Base
+							cfg.Governor = gov
+							cfg.Net = net
+							cfg.Device = dev
+							cfg.Title = title
+							cfg.Rung = rung
+							cfg.Seed = seed
+							out = append(out, cfg)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Run expands the sweep and executes it through the campaign pool.
+func (s Sweep) Run(workers int) []Outcome {
+	return RunAll(s.Expand(), workers)
+}
+
+// AxisStat aggregates one metric over every successful run sharing one
+// axis value.
+type AxisStat struct {
+	// Axis names the swept dimension ("governor", "net", "device",
+	// "title", "rung", "seed").
+	Axis string
+	// Value is the axis value the runs share.
+	Value string
+	// N counts the successful runs aggregated.
+	N int
+	// Mean, Std, Min, Max summarize the metric over those runs.
+	Mean, Std, Min, Max float64
+}
+
+// Aggregate folds outcomes into per-axis-value statistics of metric.
+// Only axes the sweep actually varies (≥2 values) produce rows; rows
+// follow axis declaration order, then the axis list's order. Failed runs
+// are skipped.
+func (s Sweep) Aggregate(outs []Outcome, metric func(RunResult) float64) []AxisStat {
+	type axis struct {
+		name   string
+		values []string
+		of     func(RunConfig) string
+	}
+	axes := []axis{
+		{"governor", strSlice(s.Governors, func(g string) string { return g }),
+			func(c RunConfig) string { return c.Governor }},
+		{"net", strSlice(s.Nets, func(n NetKind) string { return string(n) }),
+			func(c RunConfig) string { return string(c.Net) }},
+		{"device", strSlice(s.Devices, func(d cpu.Model) string { return d.Name }),
+			func(c RunConfig) string { return c.Device.Name }},
+		{"title", strSlice(s.Titles, func(t video.Title) string { return t.Name }),
+			func(c RunConfig) string { return c.Title.Name }},
+		{"rung", strSlice(s.Rungs, func(r video.Resolution) string { return r.Name }),
+			func(c RunConfig) string { return c.Rung.Name }},
+		{"seed", strSlice(s.Seeds, func(s int64) string { return fmt.Sprintf("%d", s) }),
+			func(c RunConfig) string { return fmt.Sprintf("%d", c.Seed) }},
+	}
+	var rows []AxisStat
+	for _, ax := range axes {
+		if len(ax.values) < 2 {
+			continue
+		}
+		acc := make(map[string]*stats.Online, len(ax.values))
+		for _, v := range ax.values {
+			acc[v] = &stats.Online{}
+		}
+		for _, o := range outs {
+			if o.Err != nil {
+				continue
+			}
+			if online, ok := acc[ax.of(o.Config)]; ok {
+				online.Add(metric(o.Result))
+			}
+		}
+		for _, v := range ax.values {
+			online := acc[v]
+			rows = append(rows, AxisStat{
+				Axis: ax.name, Value: v, N: online.N(),
+				Mean: online.Mean(), Std: online.Std(),
+				Min: online.Min(), Max: online.Max(),
+			})
+		}
+	}
+	return rows
+}
+
+// strSlice maps a typed axis list to its string labels.
+func strSlice[T any](in []T, label func(T) string) []string {
+	out := make([]string, len(in))
+	for i, v := range in {
+		out[i] = label(v)
+	}
+	return out
+}

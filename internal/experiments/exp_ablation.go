@@ -16,15 +16,19 @@ func FigF7() (Table, error) {
 		Header: []string{"buffer_frames", "cpu_j", "mean_ghz", "drops", "rebuffers"},
 		Notes:  "energy falls with depth then flattens: past ~8 frames the slack no longer buys lower OPPs",
 	}
-	for _, depth := range []int{1, 2, 4, 8, 12, 16} {
-		cfg := DefaultRunConfig()
-		cfg.DecodedQueueCap = depth
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("f7 depth %d: %w", depth, err)
-		}
+	depths := []int{1, 2, 4, 8, 12, 16}
+	cfgs := make([]RunConfig, len(depths))
+	for i, depth := range depths {
+		cfgs[i] = DefaultRunConfig()
+		cfgs[i].DecodedQueueCap = depth
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f7: %w", err)
+	}
+	for i, res := range results {
 		t.Rows = append(t.Rows, []string{
-			iv(depth), f1(res.CPUJ), f2c(res.MeanFreqGHz),
+			iv(depths[i]), f1(res.CPUJ), f2c(res.MeanFreqGHz),
 			iv(res.QoE.DroppedFrames), iv(res.QoE.RebufferCount),
 		})
 	}
@@ -47,17 +51,21 @@ func FigF8() (Table, error) {
 	points := []point{
 		{0.00, 0}, {0.00, 2}, {0.05, 2}, {0.10, 2}, {0.15, 2}, {0.25, 2}, {0.50, 2},
 	}
-	for _, p := range points {
-		cfg := DefaultRunConfig()
-		cfg.DecodedQueueCap = 2 // little queue slack: the margin must carry the jitter
+	cfgs := make([]RunConfig, len(points))
+	for i, p := range points {
+		cfgs[i] = DefaultRunConfig()
+		cfgs[i].DecodedQueueCap = 2 // little queue slack: the margin must carry the jitter
 		pol := core.DefaultConfig()
 		pol.Margin = p.margin
 		pol.SigmaK = p.sigmaK
-		cfg.Policy = pol
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("f8 margin %.2f: %w", p.margin, err)
-		}
+		cfgs[i].Policy = pol
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f8: %w", err)
+	}
+	for i, res := range results {
+		p := points[i]
 		boosts := 0
 		if res.Pred != nil {
 			// Boost frames are tracked by the governor; recover from the
@@ -80,6 +88,12 @@ func FigF9() (Table, error) {
 		Header: []string{"predictor", "title", "under_rate", "relerr_p50", "relerr_p99", "drop_rate", "cpu_j"},
 		Notes:  "per-type + kσ has the fewest dangerous underestimates, hence the fewest drops, at near-equal energy; mean-only predictors underestimate half the frames",
 	}
+	type point struct {
+		kind  core.PredictorKind
+		title video.Title
+	}
+	var points []point
+	var cfgs []RunConfig
 	for _, kind := range core.PredictorKinds() {
 		for _, title := range video.Titles() {
 			cfg := DefaultRunConfig()
@@ -91,22 +105,27 @@ func FigF9() (Table, error) {
 				pol.SigmaK = 0
 			}
 			cfg.Policy = pol
-			res, err := Run(cfg)
-			if err != nil {
-				return Table{}, fmt.Errorf("f9 %s/%s: %w", kind, title.Name, err)
-			}
-			if res.Pred == nil {
-				return Table{}, fmt.Errorf("f9 %s/%s: no predictor stats", kind, title.Name)
-			}
-			t.Rows = append(t.Rows, []string{
-				kind.String(), title.Name,
-				pct(res.Pred.UnderRate()),
-				pct(res.Pred.RelErrP(50)),
-				pct(res.Pred.RelErrP(99)),
-				pct(res.QoE.DropRate()),
-				f1(res.CPUJ),
-			})
+			points = append(points, point{kind, title})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f9: %w", err)
+	}
+	for i, res := range results {
+		p := points[i]
+		if res.Pred == nil {
+			return Table{}, fmt.Errorf("f9 %s/%s: no predictor stats", p.kind, p.title.Name)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.kind.String(), p.title.Name,
+			pct(res.Pred.UnderRate()),
+			pct(res.Pred.RelErrP(50)),
+			pct(res.Pred.RelErrP(99)),
+			pct(res.QoE.DropRate()),
+			f1(res.CPUJ),
+		})
 	}
 	return t, nil
 }

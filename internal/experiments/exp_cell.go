@@ -29,6 +29,7 @@ func TableT5() (Table, error) {
 		{"burst(10s)", 10, false},
 		{"burst(10s)", 10, true},
 	}
+	cfgs := make([]RunConfig, 0, len(variants))
 	for _, v := range variants {
 		cfg := DefaultRunConfig()
 		cfg.Net = NetConst8
@@ -37,10 +38,14 @@ func TableT5() (Table, error) {
 		rrc := netsim.DefaultUMTS()
 		rrc.FastDormancy = v.fd
 		cfg.RRC = &rrc
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("t5 %s fd=%v: %w", v.prefetch, v.fd, err)
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("t5: %w", err)
+	}
+	for i, res := range results {
+		v := variants[i]
 		if res.Fetches == 0 {
 			return Table{}, fmt.Errorf("t5 %s: no fetches", v.prefetch)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"videodvfs/internal/campaign"
 	"videodvfs/internal/core"
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/decode"
@@ -143,28 +144,44 @@ func FigF15() (Table, error) {
 		Header: []string{"resolution", "policy", "big_j", "little_j", "total_j", "little_share", "drops", "saving"},
 		Notes:  "≤720p decodes almost entirely on the little cluster at a fraction of the energy; 1080p hot scenes still need the big cluster",
 	}
+	// Cluster runs are not RunConfigs, so they batch through the generic
+	// campaign pool directly.
+	type point struct {
+		res   video.Resolution
+		aware bool
+	}
+	var points []point
+	var jobs []campaign.Job[ClusterResult]
 	for _, res := range video.Resolutions() {
-		var baseTotal float64
 		for _, aware := range []bool{false, true} {
-			out, err := RunCluster(res, 60*sim.Second, 1, aware)
-			if err != nil {
-				return Table{}, fmt.Errorf("f15 %s aware=%v: %w", res.Name, aware, err)
-			}
-			name := "big-only"
-			if aware {
-				name = "cluster"
-			} else {
-				baseTotal = out.TotalJ()
-			}
-			saving := "-"
-			if aware && baseTotal > 0 {
-				saving = pct((baseTotal - out.TotalJ()) / baseTotal)
-			}
-			t.Rows = append(t.Rows, []string{
-				res.Name, name, f1(out.BigJ), f1(out.LittleJ), f1(out.TotalJ()),
-				pct(out.LittleShare), iv(out.QoE.DroppedFrames), saving,
+			res, aware := res, aware
+			points = append(points, point{res, aware})
+			jobs = append(jobs, func() (ClusterResult, error) {
+				return RunCluster(res, 60*sim.Second, 1, aware)
 			})
 		}
+	}
+	results, err := campaign.Values(campaign.Do(jobs, campaign.Options[ClusterResult]{}))
+	if err != nil {
+		return Table{}, fmt.Errorf("f15: %w", err)
+	}
+	var baseTotal float64
+	for i, out := range results {
+		p := points[i]
+		name := "big-only"
+		if p.aware {
+			name = "cluster"
+		} else {
+			baseTotal = out.TotalJ()
+		}
+		saving := "-"
+		if p.aware && baseTotal > 0 {
+			saving = pct((baseTotal - out.TotalJ()) / baseTotal)
+		}
+		t.Rows = append(t.Rows, []string{
+			p.res.Name, name, f1(out.BigJ), f1(out.LittleJ), f1(out.TotalJ()),
+			pct(out.LittleShare), iv(out.QoE.DroppedFrames), saving,
+		})
 	}
 	return t, nil
 }

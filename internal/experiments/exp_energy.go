@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-
 	"videodvfs/internal/stats"
 	"videodvfs/internal/video"
 )
@@ -12,27 +10,45 @@ func headlineGovernors() []string {
 	return []string{"performance", "powersave", "ondemand", "conservative", "interactive", "schedutil", "energyaware", "oracle"}
 }
 
-// runGrid runs one governor across the resolution ladder with the given
-// seeds and returns mean CPU energy and mean drop rate per resolution.
-func runGrid(gov string, seeds []int64) (map[string]float64, map[string]float64, error) {
-	energyJ := make(map[string]float64)
-	drops := make(map[string]float64)
-	for _, res := range video.Resolutions() {
-		var e, d stats.Online
-		for _, seed := range seeds {
-			cfg := DefaultRunConfig()
-			cfg.Governor = gov
-			cfg.Rung = res
-			cfg.Seed = seed
-			out, err := Run(cfg)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s/%s seed %d: %w", gov, res.Name, seed, err)
-			}
-			e.Add(out.CPUJ)
-			d.Add(out.QoE.DropRate())
+// runGrid sweeps the governors across the resolution ladder with the
+// given seeds in one campaign batch and returns mean CPU energy and mean
+// drop rate per governor per resolution.
+func runGrid(govs []string, seeds []int64) (map[string]map[string]float64, map[string]map[string]float64, error) {
+	sw := Sweep{
+		Base:      DefaultRunConfig(),
+		Governors: govs,
+		Rungs:     video.Resolutions(),
+		Seeds:     seeds,
+	}
+	cfgs := sw.Expand()
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return nil, nil, err
+	}
+	eAcc := make(map[string]map[string]*stats.Online, len(govs))
+	dAcc := make(map[string]map[string]*stats.Online, len(govs))
+	for _, gov := range govs {
+		eAcc[gov] = make(map[string]*stats.Online)
+		dAcc[gov] = make(map[string]*stats.Online)
+		for _, res := range video.Resolutions() {
+			eAcc[gov][res.Name] = &stats.Online{}
+			dAcc[gov][res.Name] = &stats.Online{}
 		}
-		energyJ[res.Name] = e.Mean()
-		drops[res.Name] = d.Mean()
+	}
+	for i, out := range results {
+		cfg := cfgs[i]
+		eAcc[cfg.Governor][cfg.Rung.Name].Add(out.CPUJ)
+		dAcc[cfg.Governor][cfg.Rung.Name].Add(out.QoE.DropRate())
+	}
+	energyJ := make(map[string]map[string]float64, len(govs))
+	drops := make(map[string]map[string]float64, len(govs))
+	for _, gov := range govs {
+		energyJ[gov] = make(map[string]float64)
+		drops[gov] = make(map[string]float64)
+		for _, res := range video.Resolutions() {
+			energyJ[gov][res.Name] = eAcc[gov][res.Name].Mean()
+			drops[gov][res.Name] = dAcc[gov][res.Name].Mean()
+		}
 	}
 	return energyJ, drops, nil
 }
@@ -49,18 +65,11 @@ func FigF5() (Table, error) {
 		Header: []string{"governor", "360p", "480p", "720p", "1080p", "720p_vs_ondemand"},
 		Notes:  "energy-aware saves ≈20–40% vs ondemand/interactive; only powersave and the oracle sit lower, and powersave drops frames (see f6)",
 	}
-	base := make(map[string]float64)
-	rows := make(map[string]map[string]float64)
-	for _, gov := range headlineGovernors() {
-		e, _, err := runGrid(gov, headlineSeeds())
-		if err != nil {
-			return Table{}, err
-		}
-		rows[gov] = e
-		if gov == "ondemand" {
-			base = e
-		}
+	rows, _, err := runGrid(headlineGovernors(), headlineSeeds())
+	if err != nil {
+		return Table{}, err
 	}
+	base := rows["ondemand"]
 	for _, gov := range headlineGovernors() {
 		e := rows[gov]
 		saving := "-"
@@ -83,11 +92,12 @@ func FigF6() (Table, error) {
 		Header: []string{"governor", "360p", "480p", "720p", "1080p"},
 		Notes:  "powersave collapses at 720p/1080p; energy-aware matches performance (≈0%) everywhere",
 	}
+	_, drops, err := runGrid(headlineGovernors(), headlineSeeds())
+	if err != nil {
+		return Table{}, err
+	}
 	for _, gov := range headlineGovernors() {
-		_, d, err := runGrid(gov, headlineSeeds())
-		if err != nil {
-			return Table{}, err
-		}
+		d := drops[gov]
 		t.Rows = append(t.Rows, []string{
 			gov, pct(d["360p"]), pct(d["480p"]), pct(d["720p"]), pct(d["1080p"]),
 		})
@@ -104,14 +114,11 @@ func FigF12() (Table, error) {
 		Header: []string{"resolution", "energyaware_j", "oracle_j", "gap"},
 		Notes:  "the online policy lands within ~5–20% of the clairvoyant lower bound",
 	}
-	ea, _, err := runGrid("energyaware", headlineSeeds())
+	rows, _, err := runGrid([]string{"energyaware", "oracle"}, headlineSeeds())
 	if err != nil {
 		return Table{}, err
 	}
-	or, _, err := runGrid("oracle", headlineSeeds())
-	if err != nil {
-		return Table{}, err
-	}
+	ea, or := rows["energyaware"], rows["oracle"]
 	for _, res := range video.Resolutions() {
 		gap := "-"
 		if or[res.Name] > 0 {

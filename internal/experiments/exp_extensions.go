@@ -20,23 +20,27 @@ func FigF17() (Table, error) {
 		Header: []string{"codec", "network", "mbps", "cpu_j", "radio_j", "cpu+radio_j", "drops"},
 		Notes:  "HEVC costs more CPU but fewer radio joules; it wins at the device level on expensive links (3G) and roughly ties on cheap ones",
 	}
+	var cfgs []RunConfig
 	for _, codec := range []string{"h264", "hevc"} {
 		for _, net := range []NetKind{NetWiFi, NetUMTS} {
 			cfg := DefaultRunConfig()
 			cfg.Codec = codec
 			cfg.Net = net
 			cfg.Duration = 120 * sim.Second
-			res, err := Run(cfg)
-			if err != nil {
-				return Table{}, fmt.Errorf("f17 %s/%s: %w", codec, net, err)
-			}
-			t.Rows = append(t.Rows, []string{
-				codec, string(net),
-				f2c(res.QoE.MeanRungBps / 1e6),
-				f1(res.CPUJ), f1(res.RadioJ), f1(res.CPUJ + res.RadioJ),
-				iv(res.QoE.DroppedFrames),
-			})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f17: %w", err)
+	}
+	for i, res := range results {
+		t.Rows = append(t.Rows, []string{
+			cfgs[i].Codec, string(cfgs[i].Net),
+			f2c(res.QoE.MeanRungBps / 1e6),
+			f1(res.CPUJ), f1(res.RadioJ), f1(res.CPUJ + res.RadioJ),
+			iv(res.QoE.DroppedFrames),
+		})
 	}
 	return t, nil
 }
@@ -51,25 +55,25 @@ func FigF18() (Table, error) {
 		Header: []string{"device", "fmax_ghz", "ondemand_j", "energyaware_j", "saving", "ea_drops"},
 		Notes:  "relative savings persist across device classes; smaller tables leave less DVFS headroom, so the flagship saves the most",
 	}
+	base := DefaultRunConfig()
+	base.Rung = video.R480p // feasible on every device class
+	var cfgs []RunConfig
 	for _, dev := range cpu.Devices() {
-		var odJ, eaJ float64
-		var eaDrops int
 		for _, gov := range []string{"ondemand", "energyaware"} {
-			cfg := DefaultRunConfig()
+			cfg := base
 			cfg.Device = dev
 			cfg.Governor = gov
-			cfg.Rung = video.R480p // feasible on every device class
-			res, err := Run(cfg)
-			if err != nil {
-				return Table{}, fmt.Errorf("f18 %s/%s: %w", dev.Name, gov, err)
-			}
-			if gov == "ondemand" {
-				odJ = res.CPUJ
-			} else {
-				eaJ = res.CPUJ
-				eaDrops = res.QoE.DroppedFrames
-			}
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f18: %w", err)
+	}
+	for i, dev := range cpu.Devices() {
+		odJ := results[2*i].CPUJ
+		eaJ := results[2*i+1].CPUJ
+		eaDrops := results[2*i+1].QoE.DroppedFrames
 		saving := "-"
 		if odJ > 0 {
 			saving = pct((odJ - eaJ) / odJ)
@@ -91,17 +95,17 @@ func FigF19() (Table, error) {
 		Header: []string{"governor", "startup_s", "cpu_j", "mean_ghz", "drops", "rebuffers"},
 		Notes:  "with little slack the policy leans on its sprint mode: savings compress versus the VOD case but remain well ahead of the reactive baselines",
 	}
-	for _, gov := range []string{"performance", "ondemand", "interactive", "energyaware", "oracle"} {
-		cfg := DefaultRunConfig()
-		cfg.Governor = gov
-		cfg.Duration = 120 * sim.Second
-		cfg.LowLatency = true
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("f19 %s: %w", gov, err)
-		}
+	base := DefaultRunConfig()
+	base.Duration = 120 * sim.Second
+	base.LowLatency = true
+	cfgs := Sweep{Base: base, Governors: []string{"performance", "ondemand", "interactive", "energyaware", "oracle"}}.Expand()
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f19: %w", err)
+	}
+	for i, res := range results {
 		t.Rows = append(t.Rows, []string{
-			gov, f2c(res.QoE.StartupDelay.Seconds()), f1(res.CPUJ),
+			cfgs[i].Governor, f2c(res.QoE.StartupDelay.Seconds()), f1(res.CPUJ),
 			f2c(res.MeanFreqGHz), iv(res.QoE.DroppedFrames), iv(res.QoE.RebufferCount),
 		})
 	}

@@ -17,25 +17,30 @@ func FigF16() (Table, error) {
 		Header: []string{"policy", "cstates", "cpu_j", "idle_share", "deep_idle_share", "drops"},
 		Notes:  "deep idle recovers part of racing's waste (idle is ~70% of time at fmax) but pacing still wins by ≈2×: energy/cycle at fmax is ~4× the minimum",
 	}
+	var cfgs []RunConfig
 	for _, gov := range []string{"performance", "energyaware"} {
 		for _, cstates := range []bool{false, true} {
 			cfg := DefaultRunConfig()
 			cfg.Governor = gov
 			cfg.CStates = cstates
-			res, err := Run(cfg)
-			if err != nil {
-				return Table{}, fmt.Errorf("f16 %s cstates=%v: %w", gov, cstates, err)
-			}
-			idleShare, deepShare := idleShares(res)
-			name := "race (" + gov + ")"
-			if gov == "energyaware" {
-				name = "pace (" + gov + ")"
-			}
-			t.Rows = append(t.Rows, []string{
-				name, onOff(cstates), f1(res.CPUJ), pct(idleShare), pct(deepShare),
-				iv(res.QoE.DroppedFrames),
-			})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f16: %w", err)
+	}
+	for i, res := range results {
+		cfg := cfgs[i]
+		idleShare, deepShare := idleShares(res)
+		name := "race (" + cfg.Governor + ")"
+		if cfg.Governor == "energyaware" {
+			name = "pace (" + cfg.Governor + ")"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, onOff(cfg.CStates), f1(res.CPUJ), pct(idleShare), pct(deepShare),
+			iv(res.QoE.DroppedFrames),
+		})
 	}
 	return t, nil
 }

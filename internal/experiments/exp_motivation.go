@@ -89,16 +89,17 @@ func FigF4() (Table, error) {
 		Header: []string{"governor", "mean_ghz", "≤50%fmax", "50–80%", "≥80%", "cpu_j", "drops"},
 		Notes:  "the energy-aware policy concentrates residency in the low band without dropping frames",
 	}
-	for _, name := range motivationGovernors() {
-		cfg := DefaultRunConfig()
-		cfg.Governor = name
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("f4 %s: %w", name, err)
-		}
+	sw := Sweep{Base: DefaultRunConfig(), Governors: motivationGovernors()}
+	cfgs := sw.Expand()
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f4: %w", err)
+	}
+	for i, res := range results {
+		cfg := cfgs[i]
 		low, mid, high := residencyBands(res, cfg.Device.Fmax(), oppFreqs(cfg))
 		t.Rows = append(t.Rows, []string{
-			name, f2c(res.MeanFreqGHz), pct(low), pct(mid), pct(high),
+			cfg.Governor, f2c(res.MeanFreqGHz), pct(low), pct(mid), pct(high),
 			f1(res.CPUJ), iv(res.QoE.DroppedFrames),
 		})
 	}

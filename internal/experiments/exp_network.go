@@ -16,22 +16,27 @@ func FigF10() (Table, error) {
 		Header: []string{"network", "governor", "cpu_j", "radio_j", "rebuffers", "rebuf_s", "drops"},
 		Notes:  "CPU savings persist on every link; stalls track the network, not the governor",
 	}
+	var cfgs []RunConfig
 	for _, net := range NetKinds() {
 		for _, gov := range []string{"ondemand", "energyaware"} {
 			cfg := DefaultRunConfig()
 			cfg.Governor = gov
 			cfg.Net = net
 			cfg.Duration = 120 * sim.Second
-			res, err := Run(cfg)
-			if err != nil {
-				return Table{}, fmt.Errorf("f10 %s/%s: %w", net, gov, err)
-			}
-			t.Rows = append(t.Rows, []string{
-				string(net), gov, f1(res.CPUJ), f1(res.RadioJ),
-				iv(res.QoE.RebufferCount), f2c(res.QoE.RebufferTime.Seconds()),
-				iv(res.QoE.DroppedFrames),
-			})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f10: %w", err)
+	}
+	for i, res := range results {
+		cfg := cfgs[i]
+		t.Rows = append(t.Rows, []string{
+			string(cfg.Net), cfg.Governor, f1(res.CPUJ), f1(res.RadioJ),
+			iv(res.QoE.RebufferCount), f2c(res.QoE.RebufferTime.Seconds()),
+			iv(res.QoE.DroppedFrames),
+		})
 	}
 	return t, nil
 }
@@ -44,34 +49,28 @@ func FigF11() (Table, error) {
 		Header: []string{"governor", "cpu_j", "radio_j", "display_j", "total_j", "total_vs_ondemand"},
 		Notes:  "CPU is a third to a half of device energy during streaming; whole-device savings land ≈10–20%",
 	}
-	var base float64
-	type row struct {
-		name string
-		res  RunResult
+	baseCfg := DefaultRunConfig()
+	baseCfg.Net = NetLTE
+	baseCfg.Duration = 120 * sim.Second
+	cfgs := Sweep{Base: baseCfg, Governors: []string{"performance", "ondemand", "interactive", "energyaware", "oracle"}}.Expand()
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f11: %w", err)
 	}
-	var rows []row
-	for _, gov := range []string{"performance", "ondemand", "interactive", "energyaware", "oracle"} {
-		cfg := DefaultRunConfig()
-		cfg.Governor = gov
-		cfg.Net = NetLTE
-		cfg.Duration = 120 * sim.Second
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("f11 %s: %w", gov, err)
-		}
-		rows = append(rows, row{gov, res})
-		if gov == "ondemand" {
+	var base float64
+	for i, res := range results {
+		if cfgs[i].Governor == "ondemand" {
 			base = res.TotalJ()
 		}
 	}
-	for _, r := range rows {
+	for i, res := range results {
 		saving := "-"
 		if base > 0 {
-			saving = pct((base - r.res.TotalJ()) / base)
+			saving = pct((base - res.TotalJ()) / base)
 		}
 		t.Rows = append(t.Rows, []string{
-			r.name, f1(r.res.CPUJ), f1(r.res.RadioJ), f1(r.res.DisplayJ),
-			f1(r.res.TotalJ()), saving,
+			cfgs[i].Governor, f1(res.CPUJ), f1(res.RadioJ), f1(res.DisplayJ),
+			f1(res.TotalJ()), saving,
 		})
 	}
 	return t, nil
@@ -98,6 +97,7 @@ func TableT3() (Table, error) {
 		{"burst(10s)", 10, false},
 		{"burst(10s)", 10, true},
 	}
+	cfgs := make([]RunConfig, 0, len(variants))
 	for _, v := range variants {
 		cfg := DefaultRunConfig()
 		cfg.Net = NetConst8
@@ -106,10 +106,14 @@ func TableT3() (Table, error) {
 		rrc := netsim.DefaultUMTS()
 		rrc.FastDormancy = v.fd
 		cfg.RRC = &rrc
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("t3 %s fd=%v: %w", v.prefetch, v.fd, err)
-		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("t3: %w", err)
+	}
+	for i, res := range results {
+		v := variants[i]
 		dormancy := "tails(4s+15s)"
 		if v.fd {
 			dormancy = "fast"

@@ -16,16 +16,15 @@ func FigF20() (Table, error) {
 		Header: []string{"governor", "switches", "sw_per_s", "cpu_j", "+10uJ/sw", "+100uJ/sw", "+1mJ/sw"},
 		Notes:  "the per-frame policy switches less than ondemand (its setpoint rule is stable where ondemand oscillates); even a 1 mJ/switch cost leaves it far ahead",
 	}
-	for _, gov := range []string{"ondemand", "interactive", "schedutil", "energyaware", "oracle"} {
-		cfg := DefaultRunConfig()
-		cfg.Governor = gov
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("f20 %s: %w", gov, err)
-		}
+	cfgs := Sweep{Base: DefaultRunConfig(), Governors: []string{"ondemand", "interactive", "schedutil", "energyaware", "oracle"}}.Expand()
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f20: %w", err)
+	}
+	for i, res := range results {
 		n := float64(res.OPPTransitions)
 		t.Rows = append(t.Rows, []string{
-			gov,
+			cfgs[i].Governor,
 			iv(res.OPPTransitions),
 			f1(n / res.SimEnd.Seconds()),
 			f1(res.CPUJ),

@@ -20,19 +20,19 @@ func TableT2() (Table, error) {
 		Header: []string{"governor", "startup_s", "rebuffers", "rebuf_s", "drops", "mean_mbps", "switches", "cpu_j"},
 		Notes:  "the energy-aware policy matches performance on every QoE column while cutting CPU energy",
 	}
-	for _, gov := range qoeGovernors() {
-		cfg := DefaultRunConfig()
-		cfg.Governor = gov
-		cfg.Net = NetLTE
-		cfg.ABR = "bba"
-		cfg.Duration = 120 * sim.Second
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("t2 %s: %w", gov, err)
-		}
+	base := DefaultRunConfig()
+	base.Net = NetLTE
+	base.ABR = "bba"
+	base.Duration = 120 * sim.Second
+	cfgs := Sweep{Base: base, Governors: qoeGovernors()}.Expand()
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("t2: %w", err)
+	}
+	for i, res := range results {
 		q := res.QoE
 		t.Rows = append(t.Rows, []string{
-			gov,
+			cfgs[i].Governor,
 			f2c(q.StartupDelay.Seconds()),
 			iv(q.RebufferCount),
 			f2c(q.RebufferTime.Seconds()),
@@ -54,6 +54,7 @@ func FigF13() (Table, error) {
 		Header: []string{"abr", "governor", "cpu_j", "mean_mbps", "rebuf_s", "drops"},
 		Notes:  "savings hold under every ABR; BBA + energy-aware gives the best joint energy/QoE",
 	}
+	var cfgs []RunConfig
 	for _, abrName := range []string{"rate", "bba"} {
 		for _, gov := range []string{"ondemand", "interactive", "energyaware"} {
 			cfg := DefaultRunConfig()
@@ -61,17 +62,20 @@ func FigF13() (Table, error) {
 			cfg.Net = NetLTE
 			cfg.ABR = abrName
 			cfg.Duration = 120 * sim.Second
-			res, err := Run(cfg)
-			if err != nil {
-				return Table{}, fmt.Errorf("f13 %s/%s: %w", abrName, gov, err)
-			}
-			t.Rows = append(t.Rows, []string{
-				abrName, gov, f1(res.CPUJ),
-				f2c(res.QoE.MeanRungBps / 1e6),
-				f2c(res.QoE.RebufferTime.Seconds()),
-				iv(res.QoE.DroppedFrames),
-			})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f13: %w", err)
+	}
+	for i, res := range results {
+		t.Rows = append(t.Rows, []string{
+			cfgs[i].ABR, cfgs[i].Governor, f1(res.CPUJ),
+			f2c(res.QoE.MeanRungBps / 1e6),
+			f2c(res.QoE.RebufferTime.Seconds()),
+			iv(res.QoE.DroppedFrames),
+		})
 	}
 	return t, nil
 }

@@ -20,18 +20,22 @@ func TableT6() (Table, error) {
 		Header: []string{"segment_s", "fetches", "radio_j", "dch_s", "switches", "rebuf_s", "mean_mbps"},
 		Notes:  "radio energy is flat: trickle gaps never outlast the tails (radio savings need burst prefetch, see t3); long segments trade ABR agility away and stall on trace dips",
 	}
-	for _, segDur := range []sim.Time{1 * sim.Second, 2 * sim.Second, 4 * sim.Second, 6 * sim.Second} {
-		cfg := DefaultRunConfig()
-		cfg.Net = NetLTE
-		cfg.ABR = "bba"
-		cfg.Duration = 120 * sim.Second
-		cfg.SegmentDur = segDur
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("t6 seg=%v: %w", segDur, err)
-		}
+	segDurs := []sim.Time{1 * sim.Second, 2 * sim.Second, 4 * sim.Second, 6 * sim.Second}
+	cfgs := make([]RunConfig, len(segDurs))
+	for i, segDur := range segDurs {
+		cfgs[i] = DefaultRunConfig()
+		cfgs[i].Net = NetLTE
+		cfgs[i].ABR = "bba"
+		cfgs[i].Duration = 120 * sim.Second
+		cfgs[i].SegmentDur = segDur
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("t6: %w", err)
+	}
+	for i, res := range results {
 		t.Rows = append(t.Rows, []string{
-			f1(segDur.Seconds()),
+			f1(segDurs[i].Seconds()),
 			iv(res.Fetches),
 			f1(res.RadioJ),
 			f1(res.RadioResidency[netsim.StateDCH].Seconds()),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"videodvfs/internal/abr"
+	"videodvfs/internal/campaign"
 	"videodvfs/internal/core"
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/energy"
@@ -106,13 +107,21 @@ func FigF21() (Table, error) {
 		Header: []string{"cores", "cpu_j", "boost_frames", "drops", "rebuffers"},
 		Notes:  "boosts are startup-only at every width (the margin absorbs interference); each extra shared-clock core adds ≈0.11 W idle leakage for zero QoE gain — consolidation wins",
 	}
-	for _, cores := range []int{1, 2, 4} {
-		res, err := RunSMP(cores, video.R720p, 60*sim.Second, 1)
-		if err != nil {
-			return Table{}, fmt.Errorf("f21 %d cores: %w", cores, err)
+	widths := []int{1, 2, 4}
+	jobs := make([]campaign.Job[SMPResult], len(widths))
+	for i, cores := range widths {
+		cores := cores
+		jobs[i] = func() (SMPResult, error) {
+			return RunSMP(cores, video.R720p, 60*sim.Second, 1)
 		}
+	}
+	results, err := campaign.Values(campaign.Do(jobs, campaign.Options[SMPResult]{}))
+	if err != nil {
+		return Table{}, fmt.Errorf("f21: %w", err)
+	}
+	for i, res := range results {
 		t.Rows = append(t.Rows, []string{
-			iv(cores), f1(res.CPUJ), iv(res.BoostFrames),
+			iv(widths[i]), f1(res.CPUJ), iv(res.BoostFrames),
 			iv(res.QoE.DroppedFrames), iv(res.QoE.RebufferCount),
 		})
 	}

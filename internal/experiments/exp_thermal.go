@@ -19,24 +19,24 @@ func FigF14() (Table, error) {
 		Header: []string{"governor", "mean_w", "max_temp_c", "throttle_events", "throttled_s", "drops", "cpu_j"},
 		Notes:  "running near the sustained decode rate keeps the die below the trip; reactive governors spend much of a long session throttled",
 	}
-	for _, gov := range []string{"performance", "ondemand", "interactive", "schedutil", "energyaware"} {
-		cfg := DefaultRunConfig()
-		cfg.Governor = gov
-		cfg.Rung = video.R1080p
-		cfg.Duration = 300 * sim.Second
-		th := cpu.DefaultThermalConfig()
-		th.TripC = 62 // tight flagship skin budget: sustained 1080p is marginal
-		cfg.Thermal = &th
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("f14 %s: %w", gov, err)
-		}
+	base := DefaultRunConfig()
+	base.Rung = video.R1080p
+	base.Duration = 300 * sim.Second
+	th := cpu.DefaultThermalConfig()
+	th.TripC = 62 // tight flagship skin budget: sustained 1080p is marginal
+	base.Thermal = &th
+	cfgs := Sweep{Base: base, Governors: []string{"performance", "ondemand", "interactive", "schedutil", "energyaware"}}.Expand()
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("f14: %w", err)
+	}
+	for i, res := range results {
 		meanW := 0.0
 		if res.SimEnd > 0 {
 			meanW = res.CPUJ / res.SimEnd.Seconds()
 		}
 		t.Rows = append(t.Rows, []string{
-			gov, f2c(meanW), f1(res.MaxTempC), iv(res.ThrottleEvents),
+			cfgs[i].Governor, f2c(meanW), f1(res.MaxTempC), iv(res.ThrottleEvents),
 			f1(res.ThrottledS), iv(res.QoE.DroppedFrames), f1(res.CPUJ),
 		})
 	}
@@ -54,6 +54,15 @@ func TableT4() (Table, error) {
 		Header: []string{"governor", "cpu_w", "radio_w", "display_w", "device_w", "hours", "vs_ondemand"},
 		Notes:  "whole-device battery life improves ≈10–20%: the CPU is one of three major consumers",
 	}
+	baseCfg := DefaultRunConfig()
+	baseCfg.Net = NetLTE
+	baseCfg.ABR = "bba"
+	baseCfg.Duration = 120 * sim.Second
+	cfgs := Sweep{Base: baseCfg, Governors: []string{"performance", "ondemand", "interactive", "energyaware", "oracle"}}.Expand()
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("t4: %w", err)
+	}
 	var baseHours float64
 	type row struct {
 		gov   string
@@ -61,16 +70,8 @@ func TableT4() (Table, error) {
 		hours float64
 	}
 	var rows []row
-	for _, gov := range []string{"performance", "ondemand", "interactive", "energyaware", "oracle"} {
-		cfg := DefaultRunConfig()
-		cfg.Governor = gov
-		cfg.Net = NetLTE
-		cfg.ABR = "bba"
-		cfg.Duration = 120 * sim.Second
-		res, err := Run(cfg)
-		if err != nil {
-			return Table{}, fmt.Errorf("t4 %s: %w", gov, err)
-		}
+	for i, res := range results {
+		gov := cfgs[i].Governor
 		sec := res.SimEnd.Seconds()
 		cpuW := res.CPUJ / sec
 		radioW := res.RadioJ / sec

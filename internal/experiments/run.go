@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"videodvfs/internal/abr"
@@ -82,6 +83,10 @@ type RunConfig struct {
 	// Background enables the UI/OS load generator (default on via
 	// DefaultRunConfig).
 	Background bool
+	// Horizon caps virtual time (0 = Duration*6 + 60 s; starved runs
+	// terminate, radio tails need the +60 s). A session still incomplete
+	// at the cap makes Run fail with ErrHorizonExceeded.
+	Horizon sim.Time
 	// FPS overrides the frame rate (0 = 30).
 	FPS float64
 	// Trace, if set, replays this exact frame stream instead of
@@ -245,6 +250,12 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 	}
 }
 
+// ErrHorizonExceeded reports that a session was still incomplete when the
+// simulation horizon (RunConfig.Horizon, default Duration*6 + 60 s) cut
+// the run off — the link could not sustain the stream within the cap.
+// Callers distinguish it with errors.Is.
+var ErrHorizonExceeded = errors.New("simulation horizon exceeded")
+
 // Run executes one simulation and returns its result.
 func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.Trace != nil && cfg.Duration <= 0 {
@@ -361,13 +372,19 @@ func Run(cfg RunConfig) (RunResult, error) {
 	})
 	sess.Start()
 
-	// Horizon: generous multiple of content length so starved runs
-	// terminate; radio tails need the +60 s.
-	eng.RunUntil(cfg.Duration*6 + 60*sim.Second)
+	horizon := cfg.Duration*6 + 60*sim.Second
+	if cfg.Horizon > 0 {
+		horizon = cfg.Horizon
+	}
+	end := eng.RunUntil(horizon)
 	meter.Finish()
 
 	if err := sess.Err(); err != nil {
 		return RunResult{}, fmt.Errorf("experiments: session: %w", err)
+	}
+	if m := sess.Metrics(); !m.Completed && end >= horizon {
+		return RunResult{}, fmt.Errorf("experiments: %w: session at %d/%d frames when the %v horizon hit",
+			ErrHorizonExceeded, m.DisplayedFrames+m.DroppedFrames, m.TotalFrames, horizon)
 	}
 	if dl.Err() != nil {
 		return RunResult{}, fmt.Errorf("experiments: downloader: %w", dl.Err())
@@ -404,9 +421,13 @@ func Run(cfg RunConfig) (RunResult, error) {
 }
 
 func meanFreqGHz(model cpu.Model, residency map[int]sim.Time) float64 {
+	// Iterate OPP indices in order, not the map: float summation order
+	// must be fixed or the last bit of the mean varies run to run,
+	// breaking the bit-identical determinism contract.
 	var num, den float64
-	for idx, d := range residency {
-		if idx < 0 || idx >= len(model.OPPs) {
+	for idx := range model.OPPs {
+		d, ok := residency[idx]
+		if !ok {
 			continue
 		}
 		num += model.OPPs[idx].FreqHz * d.Seconds()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -193,6 +194,35 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
+func TestRunHorizonExceeded(t *testing.T) {
+	cfg := DefaultRunConfig()
+	// The base case needs ≈61 virtual seconds; a 10 s horizon cuts the
+	// session off mid-stream.
+	cfg.Horizon = 10 * sim.Second
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("want ErrHorizonExceeded for a 10 s horizon on a 60 s session")
+	}
+	if !errors.Is(err, ErrHorizonExceeded) {
+		t.Fatalf("want ErrHorizonExceeded, got %v", err)
+	}
+	// The message names the progress at cutoff so starved sweeps are
+	// debuggable from logs alone.
+	if !containsStr(err.Error(), "frames") {
+		t.Fatalf("horizon error should report frame progress: %v", err)
+	}
+
+	// A generous explicit horizon behaves exactly like the default.
+	cfg.Horizon = 10 * sim.Minute
+	res := mustRun(t, cfg)
+	if !res.QoE.Completed {
+		t.Fatal("session should complete under a generous horizon")
+	}
+	if res.SimEnd >= cfg.Horizon {
+		t.Fatalf("completed run should stop before the horizon, ended at %v", res.SimEnd)
+	}
+}
+
 func TestRunDefaultsFillZeroFields(t *testing.T) {
 	cfg := RunConfig{Governor: "ondemand", Duration: 10 * sim.Second, Net: NetWiFi, Background: false}
 	res := mustRun(t, cfg)
@@ -283,10 +313,11 @@ func TestHeadlineGridShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid is a long test")
 	}
-	e, d, err := runGrid("energyaware", []int64{1})
+	eg, dg, err := runGrid([]string{"energyaware"}, []int64{1})
 	if err != nil {
 		t.Fatal(err)
 	}
+	e, d := eg["energyaware"], dg["energyaware"]
 	// Energy must rise with resolution; drops ≈ 0 everywhere.
 	order := []string{"360p", "480p", "720p", "1080p"}
 	for i := 1; i < len(order); i++ {

@@ -55,6 +55,13 @@ type (
 	Time = sim.Time
 	// ClusterResult is the outcome of a big.LITTLE session.
 	ClusterResult = experiments.ClusterResult
+	// BatchOutcome pairs one RunConfig with its result or error in a
+	// batch.
+	BatchOutcome = experiments.Outcome
+	// Sweep expands a config template over axis lists and seed sets.
+	Sweep = experiments.Sweep
+	// AxisStat aggregates one metric over the runs sharing an axis value.
+	AxisStat = experiments.AxisStat
 )
 
 // Network profiles.
@@ -113,6 +120,21 @@ func DefaultSession() RunConfig { return experiments.DefaultRunConfig() }
 
 // Run executes one streaming simulation.
 func Run(cfg RunConfig) (RunResult, error) { return experiments.Run(cfg) }
+
+// ErrHorizonExceeded reports a session still incomplete when the
+// simulation horizon cut the run off; distinguish it with errors.Is.
+var ErrHorizonExceeded = experiments.ErrHorizonExceeded
+
+// RunAll executes configs across a worker pool (workers ≤ 0 =
+// GOMAXPROCS) and returns outcomes in input order. Runs are independent
+// and seed-deterministic, so results are bit-identical for any worker
+// count; a failing or panicking run marks only its own slot.
+func RunAll(cfgs []RunConfig, workers int) []BatchOutcome {
+	return experiments.RunAll(cfgs, workers)
+}
+
+// SeedRange returns the seeds lo..hi inclusive, for Sweep.Seeds.
+func SeedRange(lo, hi int64) []int64 { return experiments.SeedRange(lo, hi) }
 
 // RunCluster simulates a streaming session on a big.LITTLE device
 // (flagship big + efficient little). With clusterAware set, the

@@ -1,6 +1,9 @@
 package videodvfs
 
-import "testing"
+import (
+	"errors"
+	"testing"
+)
 
 func TestFacadeRun(t *testing.T) {
 	cfg := DefaultSession()
@@ -49,6 +52,37 @@ func TestFacadeLookups(t *testing.T) {
 	}
 	if err := DefaultPolicy().Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFacadeBatch(t *testing.T) {
+	sweep := Sweep{Base: DefaultSession(), Seeds: SeedRange(1, 3)}
+	sweep.Base.Duration = 10 * Second
+	outs := RunAll(sweep.Expand(), 2)
+	if len(outs) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(outs))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("seed %d: %v", i+1, o.Err)
+		}
+		if o.Config.Seed != int64(i+1) {
+			t.Fatalf("outcome %d carries seed %d — order lost", i, o.Config.Seed)
+		}
+	}
+	rows := sweep.Aggregate(outs, func(r RunResult) float64 { return r.CPUJ })
+	if len(rows) != 3 || rows[0].Axis != "seed" {
+		t.Fatalf("aggregate rows = %+v, want one per seed", rows)
+	}
+}
+
+func TestFacadeHorizonError(t *testing.T) {
+	cfg := DefaultSession()
+	cfg.Duration = 30 * Second
+	cfg.Horizon = 5 * Second
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrHorizonExceeded) {
+		t.Fatalf("want ErrHorizonExceeded, got %v", err)
 	}
 }
 
