@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test golden bench
+.PHONY: check vet build test golden trace-golden bench
 
 # The full gate: vet, build, race-enabled tests (includes the golden
 # regression suite and the parallel/serial equivalence test).
@@ -19,6 +19,11 @@ test:
 # change, then review the diff like any other code change.
 golden:
 	$(GO) test ./internal/experiments -run TestGoldenTables -update
+
+# Regenerate the pinned event-trace of the golden scenario (DESIGN.md §7)
+# after an intended behavior or schema change.
+trace-golden:
+	$(GO) test ./internal/trace -run TestGoldenTrace -update
 
 # Rebuild the whole evaluation through the campaign pool, serial vs
 # parallel.

@@ -11,11 +11,13 @@ package videodvfs
 // what factor, where the knees fall) are what the reproduction asserts.
 
 import (
+	"bytes"
 	"fmt"
 	"testing"
 
 	"videodvfs/internal/campaign"
 	"videodvfs/internal/experiments"
+	"videodvfs/internal/trace"
 )
 
 // printedTables ensures each experiment's rows print once per process even
@@ -149,6 +151,39 @@ func BenchmarkTableT7_UsageSession(b *testing.B) { benchExperiment(b, "t7") }
 // BenchmarkFigF21_SMP regenerates Figure 21 (shared-clock SMP /
 // consolidation trade, extension).
 func BenchmarkFigF21_SMP(b *testing.B) { benchExperiment(b, "f21") }
+
+// BenchmarkRunNoTrace times one 60 s default session with tracing off —
+// the baseline for the no-op tracer contract (every emit site is a nil
+// check, so this must match the pre-observability cost).
+func BenchmarkRunNoTrace(b *testing.B) {
+	cfg := experiments.DefaultRunConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunJSONL times the same session while streaming its full
+// event trace through the JSONL sink into a reused in-memory buffer —
+// the marginal cost of turning tracing on.
+func BenchmarkRunJSONL(b *testing.B) {
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		cfg := experiments.DefaultRunConfig()
+		sink := trace.NewJSONL(&buf)
+		cfg.Tracer = sink
+		if _, err := experiments.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if err := sink.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // benchRegistry rebuilds every experiment through the campaign pool at
 // the given worker count. The serial/parallel pair measures the

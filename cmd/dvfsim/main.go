@@ -52,6 +52,7 @@ func run(args []string) error {
 		fastDorm     = fs.Bool("fastdormancy", false, "release the radio immediately after each burst")
 		noBackground = fs.Bool("nobackground", false, "disable the UI/OS background load")
 		tracePath    = fs.String("videotrace", "", "replay a CSV frame trace (from tracegen) instead of generating one")
+		traceOut     = fs.String("trace", "", "write the run's structured event stream as JSONL to this file ('-' = stdout)")
 		jsonOut      = fs.Bool("json", false, "emit the result as JSON instead of the text report")
 		timelinePath = fs.String("timeline", "", "write a 100 ms time-series CSV (t_s, freq_ghz, cpu_w, buffer_s) for plotting")
 		batch        = fs.Int("batch", 0, "run N sessions with seeds seed..seed+N-1 and report aggregate stats")
@@ -62,8 +63,13 @@ func run(args []string) error {
 	}
 
 	cfg := videodvfs.DefaultSession()
-	cfg.Governor = *governorName
-	cfg.ABR = *abrName
+	var err error
+	if cfg.Governor, err = videodvfs.ParseGovernor(*governorName); err != nil {
+		return err
+	}
+	if cfg.ABR, err = videodvfs.ParseABR(*abrName); err != nil {
+		return err
+	}
 	cfg.Net = videodvfs.NetKind(*net)
 	cfg.Duration = videodvfs.Time(*duration) * videodvfs.Second
 	cfg.Seed = *seed
@@ -71,7 +77,6 @@ func run(args []string) error {
 	cfg.LowWaterSec = *lowWater
 	cfg.Background = !*noBackground
 
-	var err error
 	if cfg.Device, err = videodvfs.DeviceByName(*device); err != nil {
 		return err
 	}
@@ -110,7 +115,26 @@ func run(args []string) error {
 		if *timelinePath != "" {
 			return fmt.Errorf("-timeline is per-run and incompatible with -batch")
 		}
+		if *traceOut != "" {
+			return fmt.Errorf("-trace is per-run and incompatible with -batch")
+		}
 		return batchRun(os.Stdout, cfg, *batch, *parallel, *jsonOut)
+	}
+
+	var traceSink videodvfs.TraceSink
+	if *traceOut != "" {
+		// Shield stdout from the sink's Close (it closes io.Closers).
+		w := io.Writer(struct{ io.Writer }{os.Stdout})
+		if *traceOut != "-" {
+			f, terr := os.Create(*traceOut)
+			if terr != nil {
+				return terr
+			}
+			defer f.Close()
+			w = f
+		}
+		traceSink = videodvfs.NewJSONLTracer(w)
+		cfg.Tracer = traceSink
 	}
 
 	var timeline *csv.Writer
@@ -140,6 +164,11 @@ func run(args []string) error {
 	}
 
 	res, err := videodvfs.Run(cfg)
+	if traceSink != nil {
+		if cerr := traceSink.Close(); cerr != nil && err == nil {
+			return fmt.Errorf("trace sink: %w", cerr)
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -18,11 +18,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
+	"sync"
 
 	"videodvfs"
 	"videodvfs/internal/campaign"
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/trace"
 )
 
 func main() {
@@ -40,9 +44,17 @@ func run(args []string) error {
 		format   = fs.String("format", "text", "output format: text, markdown, csv")
 		parallel = fs.Int("parallel", runtime.NumCPU(), "experiments built concurrently (each batches its own runs internally)")
 		progress = fs.Bool("progress", false, "print campaign progress to stderr")
+		traceDir = fs.String("trace-dir", "", "write one JSONL event trace per simulation run into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		experiments.SetTraceFactory(traceDirFactory(*traceDir))
+		defer experiments.SetTraceFactory(nil)
 	}
 	if *list {
 		for _, id := range videodvfs.ExperimentIDs() {
@@ -84,4 +96,33 @@ func run(args []string) error {
 		fmt.Println(o.Value)
 	}
 	return nil
+}
+
+// traceDirFactory returns a process-wide trace factory writing one JSONL
+// file per simulation run into dir. Files are named from the run's
+// config axes (governor, network, rung, seed) plus a per-name sequence
+// number; the sequence assignment is serialized, but with concurrent
+// experiments the mapping of sequence numbers to runs depends on
+// completion order. Each file's *contents* remain deterministic.
+func traceDirFactory(dir string) experiments.TraceFactory {
+	var mu sync.Mutex
+	seq := make(map[string]int)
+	return func(cfg experiments.RunConfig) (trace.Tracer, func() error) {
+		net := cfg.Net
+		if net == "" {
+			net = experiments.NetWiFi
+		}
+		base := fmt.Sprintf("%s_%s_%s_seed%d", cfg.Governor, net, cfg.Rung.Name, cfg.Seed)
+		mu.Lock()
+		n := seq[base]
+		seq[base] = n + 1
+		mu.Unlock()
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_%03d.jsonl", base, n)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "exprun: trace:", err)
+			return nil, nil
+		}
+		sink := trace.NewJSONL(f)
+		return sink, sink.Close
+	}
 }

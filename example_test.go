@@ -10,8 +10,9 @@ import (
 // energy-aware governor. Output is deterministic because all randomness
 // derives from the configured seed.
 func ExampleRun() {
-	cfg := videodvfs.DefaultSession()
-	cfg.Duration = 20 * videodvfs.Second
+	cfg := videodvfs.NewSession(
+		videodvfs.WithDuration(20 * videodvfs.Second),
+	)
 	res, err := videodvfs.Run(cfg)
 	if err != nil {
 		fmt.Println("error:", err)
@@ -28,13 +29,14 @@ func ExampleRun() {
 // ExampleRun_comparison compares the policy against a stock governor on
 // identical inputs.
 func ExampleRun_comparison() {
-	base := videodvfs.DefaultSession()
-	base.Duration = 20 * videodvfs.Second
-
-	ours := base
-	ours.Governor = "energyaware"
-	stock := base
-	stock.Governor = "ondemand"
+	ours := videodvfs.NewSession(
+		videodvfs.WithDuration(20*videodvfs.Second),
+		videodvfs.WithGovernor(videodvfs.GovEnergyAware),
+	)
+	stock := videodvfs.NewSession(
+		videodvfs.WithDuration(20*videodvfs.Second),
+		videodvfs.WithGovernor(videodvfs.GovOndemand),
+	)
 
 	a, err := videodvfs.Run(ours)
 	if err != nil {

@@ -28,10 +28,11 @@ func run() error {
 		fmt.Printf("\n== %s sports, 60 s ==\n", res)
 		fmt.Printf("%-12s %9s %9s %7s %8s %9s\n",
 			"governor", "cpu (J)", "mean GHz", "drops", "drop %", "startup s")
-		for _, gov := range videodvfs.GovernorNames() {
-			cfg := videodvfs.DefaultSession()
-			cfg.Governor = gov
-			cfg.Rung = rung
+		for _, gov := range videodvfs.Governors() {
+			cfg := videodvfs.NewSession(
+				videodvfs.WithGovernor(gov),
+				videodvfs.WithRung(rung),
+			)
 			out, err := videodvfs.Run(cfg)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", gov, res, err)

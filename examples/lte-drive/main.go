@@ -25,12 +25,15 @@ func run() error {
 	fmt.Println("120 s sports over variable LTE, buffer-based ABR (BBA)")
 	fmt.Printf("%-12s %8s %8s %9s %8s %9s %8s %8s\n",
 		"governor", "cpu (J)", "radio(J)", "total(J)", "Mbps", "switches", "rebuf s", "drops")
-	for _, gov := range []string{"interactive", "ondemand", "energyaware"} {
-		cfg := videodvfs.DefaultSession()
-		cfg.Governor = gov
-		cfg.Net = videodvfs.NetLTE
-		cfg.ABR = "bba"
-		cfg.Duration = 120 * videodvfs.Second
+	for _, gov := range []videodvfs.Governor{
+		videodvfs.GovInteractive, videodvfs.GovOndemand, videodvfs.GovEnergyAware,
+	} {
+		cfg := videodvfs.NewSession(
+			videodvfs.WithGovernor(gov),
+			videodvfs.WithNet(videodvfs.NetLTE),
+			videodvfs.WithABR(videodvfs.ABRBBA),
+			videodvfs.WithDuration(120*videodvfs.Second),
+		)
 		out, err := videodvfs.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", gov, err)

@@ -21,16 +21,16 @@ func main() {
 func run() error {
 	// 60 seconds of 720p sports over a steady 8 Mbps link on a
 	// flagship-class device.
-	cfg := videodvfs.DefaultSession()
-
-	cfg.Governor = "ondemand"
-	baseline, err := videodvfs.Run(cfg)
+	baseline, err := videodvfs.Run(videodvfs.NewSession(
+		videodvfs.WithGovernor(videodvfs.GovOndemand),
+	))
 	if err != nil {
 		return err
 	}
 
-	cfg.Governor = "energyaware"
-	ours, err := videodvfs.Run(cfg)
+	ours, err := videodvfs.Run(videodvfs.NewSession(
+		videodvfs.WithGovernor(videodvfs.GovEnergyAware),
+	))
 	if err != nil {
 		return err
 	}

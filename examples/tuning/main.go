@@ -23,10 +23,9 @@ func run() error {
 	fmt.Println("safety margin sweep (720p sports, 60 s, 8-frame buffer)")
 	fmt.Printf("%8s %9s %7s\n", "margin", "cpu (J)", "drops")
 	for _, margin := range []float64{0, 0.05, 0.15, 0.30, 0.50} {
-		cfg := videodvfs.DefaultSession()
 		pol := videodvfs.DefaultPolicy()
 		pol.Margin = margin
-		cfg.Policy = pol
+		cfg := videodvfs.NewSession(videodvfs.WithPolicy(pol))
 		out, err := videodvfs.Run(cfg)
 		if err != nil {
 			return err
@@ -37,7 +36,9 @@ func run() error {
 	fmt.Println("\ndecode-ahead buffer sweep (margin 0.15)")
 	fmt.Printf("%8s %9s %7s\n", "frames", "cpu (J)", "drops")
 	for _, depth := range []int{1, 2, 4, 8, 16} {
-		cfg := videodvfs.DefaultSession()
+		// Fields without a dedicated option are set directly on the
+		// returned config.
+		cfg := videodvfs.NewSession()
 		cfg.DecodedQueueCap = depth
 		out, err := videodvfs.Run(cfg)
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/sim"
 	"videodvfs/internal/stats"
+	"videodvfs/internal/trace"
 	"videodvfs/internal/video"
 )
 
@@ -148,9 +149,10 @@ type FreqScaler interface {
 // governor.Governor and player.SessionHooks; attach it to the core (or a
 // cpu.Domain via AttachScaler) and pass it as the session's Hooks.
 type Governor struct {
-	cfg  Config
-	pred Predictor
-	core FreqScaler
+	cfg    Config
+	pred   Predictor
+	core   FreqScaler
+	tracer trace.Tracer
 
 	playing     bool
 	downloading bool
@@ -204,6 +206,11 @@ func (g *Governor) AttachScaler(_ *sim.Engine, scaler FreqScaler) error {
 // Detach implements governor.Governor.
 func (*Governor) Detach() {}
 
+// SetTracer attaches a structured tracer receiving one DecisionEvent per
+// frequency decision. nil disables tracing; the untraced decision path
+// performs no tracer calls and no allocations.
+func (g *Governor) SetTracer(tr trace.Tracer) { g.tracer = tr }
+
 // PredStats returns predictor-accuracy statistics for the run.
 func (g *Governor) PredStats() PredictionStats { return g.predStats }
 
@@ -239,6 +246,9 @@ func (g *Governor) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, r
 	if g.cfg.StartupBoost && !g.playing {
 		g.boostFrames++
 		g.core.SetOPP(model.MaxIdx())
+		if g.tracer != nil {
+			g.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type, OPP: model.MaxIdx(), Boost: true})
+		}
 		return
 	}
 	pred, ok := g.pred.Predict(f.Type)
@@ -246,6 +256,9 @@ func (g *Governor) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, r
 		// Cold predictor: be safe, learn fast.
 		g.boostFrames++
 		g.core.SetOPP(model.MaxIdx())
+		if g.tracer != nil {
+			g.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type, OPP: model.MaxIdx(), Boost: true})
+		}
 		return
 	}
 	g.lastPred[f.Index] = pred
@@ -253,6 +266,10 @@ func (g *Governor) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, r
 	if slack <= 0 {
 		g.boostFrames++
 		g.core.SetOPP(model.MaxIdx())
+		if g.tracer != nil {
+			g.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type,
+				PredCycles: pred, Slack: slack, OPP: model.MaxIdx(), Boost: true})
+		}
 		return
 	}
 	budget := budgetFor(slack, ready, queueCap, g.period, g.cfg.TargetQueueFrac, g.cfg.SprintFrames)
@@ -265,6 +282,10 @@ func (g *Governor) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, r
 		g.lowFrames++
 	}
 	g.core.SetOPP(idx)
+	if g.tracer != nil {
+		g.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type,
+			PredCycles: pred, Slack: slack, Budget: budget, OPP: idx})
+	}
 }
 
 // DecodeEnd implements decode.Hooks: feed the predictor and score it.

@@ -208,6 +208,51 @@ func TestGovernorPredictionStats(t *testing.T) {
 	}
 }
 
+// stubScaler is a FreqScaler with no event-loop machinery behind it, so
+// the allocation test measures only the governor's own decision path.
+type stubScaler struct {
+	model cpu.Model
+	opp   int
+}
+
+func (s *stubScaler) Model() cpu.Model { return s.model }
+func (s *stubScaler) SetOPP(idx int)   { s.opp = idx }
+
+// TestDecisionPathAllocFree pins the untraced hot path's contract: a
+// warmed governor makes frequency decisions with zero heap allocations
+// when no tracer is attached (see trace.Tracer's package doc).
+func TestDecisionPathAllocFree(t *testing.T) {
+	scaler := &stubScaler{model: cpu.Model{
+		Name: "test",
+		OPPs: []cpu.OPP{
+			{FreqHz: 1e9, VoltageV: 0.8, ActiveW: 1, IdleW: 0.1},
+			{FreqHz: 2e9, VoltageV: 1.0, ActiveW: 3, IdleW: 0.2},
+		},
+	}}
+	g, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AttachScaler(nil, scaler); err != nil {
+		t.Fatal(err)
+	}
+	g.StreamInfo(30, 0)
+	for i := 0; i < 60; i++ {
+		g.DecodeEnd(0, pFrame(i, 30e6), 0, 30e6)
+	}
+	g.PlaybackState(0, true)
+	f := pFrame(100, 30e6)
+	// Warm once so the lastPred map entry for this index exists; the
+	// steady state then rewrites it in place.
+	g.DecodeStart(0, f, sim.Second, 4, 8)
+	allocs := testing.AllocsPerRun(1000, func() {
+		g.DecodeStart(0, f, sim.Second, 4, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("decision path allocates %v per run, want 0", allocs)
+	}
+}
+
 func TestGovernorDoubleAttach(t *testing.T) {
 	eng, core := twoOPPCore(t)
 	g, err := New(DefaultConfig())

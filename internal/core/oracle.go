@@ -5,6 +5,7 @@ import (
 
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
 	"videodvfs/internal/video"
 )
 
@@ -23,7 +24,12 @@ type Oracle struct {
 	playing  bool
 	attached bool
 	period   sim.Time
+	tracer   trace.Tracer
 }
+
+// SetTracer attaches a structured tracer receiving one DecisionEvent per
+// frequency decision; PredCycles carries the frame's true demand.
+func (o *Oracle) SetTracer(tr trace.Tracer) { o.tracer = tr }
 
 // NewOracle returns an oracle with a small guard and race-to-idle on.
 func NewOracle() *Oracle {
@@ -64,15 +70,27 @@ func (o *Oracle) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, rea
 	model := o.core.Model()
 	if !o.playing {
 		o.core.SetOPP(model.MaxIdx())
+		if o.tracer != nil {
+			o.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type, OPP: model.MaxIdx(), Boost: true})
+		}
 		return
 	}
 	slack := deadline - now - o.Guard
 	if slack <= 0 {
 		o.core.SetOPP(model.MaxIdx())
+		if o.tracer != nil {
+			o.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type,
+				PredCycles: f.Cycles, Slack: slack, OPP: model.MaxIdx(), Boost: true})
+		}
 		return
 	}
 	budget := budgetFor(slack, ready, queueCap, o.period, 0.5, 0.5)
-	o.core.SetOPP(model.MinIdxForCycles(f.Cycles, budget))
+	idx := model.MinIdxForCycles(f.Cycles, budget)
+	o.core.SetOPP(idx)
+	if o.tracer != nil {
+		o.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type,
+			PredCycles: f.Cycles, Slack: slack, Budget: budget, OPP: idx})
+	}
 }
 
 // DecodeEnd implements decode.Hooks.

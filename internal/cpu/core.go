@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
 )
 
 // Priority orders queued jobs; lower values run first. Within a priority,
@@ -64,6 +65,7 @@ type Core struct {
 	onPower     func(now sim.Time, watts float64)
 	onOPP       func(now sim.Time, idx int)
 	onBusy      func(now sim.Time, busy bool)
+	tracer      trace.Tracer
 	freqDwell   map[int]sim.Time
 	lastDwell   sim.Time
 	transitions int
@@ -123,6 +125,11 @@ func (c *Core) OnOPPChange(fn func(now sim.Time, idx int)) { c.onOPP = fn }
 
 // OnBusyChange registers a listener for busy/idle transitions.
 func (c *Core) OnBusyChange(fn func(now sim.Time, busy bool)) { c.onBusy = fn }
+
+// SetTracer attaches a structured tracer receiving OPP transitions and
+// busy/idle (C-state) events. nil disables tracing; the untraced path
+// performs no calls and no allocations.
+func (c *Core) SetTracer(tr trace.Tracer) { c.tracer = tr }
 
 // Power returns the current draw in watts.
 func (c *Core) Power() float64 {
@@ -233,6 +240,7 @@ func (c *Core) SetOPP(idx int) {
 		return
 	}
 	now := c.eng.Now()
+	from := c.oppIdx
 	c.freqDwell[c.oppIdx] += now - c.lastDwell
 	c.lastDwell = now
 	c.transitions++
@@ -253,6 +261,9 @@ func (c *Core) SetOPP(idx int) {
 	}
 	if c.onOPP != nil {
 		c.onOPP(now, idx)
+	}
+	if c.tracer != nil {
+		c.tracer.OPP(trace.OPPEvent{T: now, From: from, To: idx, FreqHz: c.model.OPPs[idx].FreqHz})
 	}
 	c.emitPower()
 }
@@ -290,6 +301,13 @@ func (c *Core) dispatch() {
 			if c.onBusy != nil {
 				c.onBusy(now, false)
 			}
+			if c.tracer != nil {
+				ev := trace.CPUBusyEvent{T: now}
+				if c.idle != nil {
+					ev.CState = c.idle.states[c.idleStateIdx].Name
+				}
+				c.tracer.CPUBusy(ev)
+			}
 			c.emitPower()
 		}
 		return
@@ -314,6 +332,9 @@ func (c *Core) dispatch() {
 		c.busySince = now
 		if c.onBusy != nil {
 			c.onBusy(now, true)
+		}
+		if c.tracer != nil {
+			c.tracer.CPUBusy(trace.CPUBusyEvent{T: now, Busy: true})
 		}
 		c.emitPower()
 	}

@@ -76,7 +76,7 @@ type Sweep struct {
 	// Base is the config template every point starts from.
 	Base RunConfig
 	// Governors is the governor axis (nil = Base.Governor only).
-	Governors []string
+	Governors []GovernorID
 	// Nets is the network axis (nil = Base.Net only).
 	Nets []NetKind
 	// Devices is the device axis (nil = Base.Device only).
@@ -105,7 +105,7 @@ func SeedRange(lo, hi int64) []int64 {
 func (s Sweep) Expand() []RunConfig {
 	govs := s.Governors
 	if len(govs) == 0 {
-		govs = []string{s.Base.Governor}
+		govs = []GovernorID{s.Base.Governor}
 	}
 	nets := s.Nets
 	if len(nets) == 0 {
@@ -181,8 +181,8 @@ func (s Sweep) Aggregate(outs []Outcome, metric func(RunResult) float64) []AxisS
 		of     func(RunConfig) string
 	}
 	axes := []axis{
-		{"governor", strSlice(s.Governors, func(g string) string { return g }),
-			func(c RunConfig) string { return c.Governor }},
+		{"governor", strSlice(s.Governors, func(g GovernorID) string { return string(g) }),
+			func(c RunConfig) string { return string(c.Governor) }},
 		{"net", strSlice(s.Nets, func(n NetKind) string { return string(n) }),
 			func(c RunConfig) string { return string(c.Net) }},
 		{"device", strSlice(s.Devices, func(d cpu.Model) string { return d.Name }),

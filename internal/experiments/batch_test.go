@@ -29,7 +29,7 @@ func TestRunAllParallelSerialEquivalence(t *testing.T) {
 	}
 	sweep := Sweep{
 		Base:      shortBase(),
-		Governors: []string{"ondemand", "energyaware"},
+		Governors: []GovernorID{GovOndemand, GovEnergyAware},
 		Rungs:     []video.Resolution{video.R360p, video.R720p},
 		Seeds:     SeedRange(1, 4),
 	}
@@ -107,12 +107,12 @@ func TestSweepExpand(t *testing.T) {
 	base.Governor = "powersave"
 	s := Sweep{
 		Base:      base,
-		Governors: []string{"ondemand", "energyaware"},
+		Governors: []GovernorID{GovOndemand, GovEnergyAware},
 		Seeds:     []int64{10, 11},
 	}
 	cfgs := s.Expand()
 	want := []struct {
-		gov  string
+		gov  GovernorID
 		seed int64
 	}{
 		{"ondemand", 10}, {"ondemand", 11},
@@ -144,7 +144,7 @@ func TestSweepExpand(t *testing.T) {
 func TestSweepAggregate(t *testing.T) {
 	s := Sweep{
 		Base:      shortBase(),
-		Governors: []string{"ondemand", "energyaware"},
+		Governors: []GovernorID{GovOndemand, GovEnergyAware},
 		Seeds:     []int64{1, 2},
 	}
 	cfgs := s.Expand()

@@ -6,14 +6,14 @@ import (
 )
 
 // headlineGovernors is the comparison set of the headline experiment.
-func headlineGovernors() []string {
-	return []string{"performance", "powersave", "ondemand", "conservative", "interactive", "schedutil", "energyaware", "oracle"}
+func headlineGovernors() []GovernorID {
+	return GovernorIDs()
 }
 
 // runGrid sweeps the governors across the resolution ladder with the
 // given seeds in one campaign batch and returns mean CPU energy and mean
 // drop rate per governor per resolution.
-func runGrid(govs []string, seeds []int64) (map[string]map[string]float64, map[string]map[string]float64, error) {
+func runGrid(govs []GovernorID, seeds []int64) (map[GovernorID]map[string]float64, map[GovernorID]map[string]float64, error) {
 	sw := Sweep{
 		Base:      DefaultRunConfig(),
 		Governors: govs,
@@ -25,8 +25,8 @@ func runGrid(govs []string, seeds []int64) (map[string]map[string]float64, map[s
 	if err != nil {
 		return nil, nil, err
 	}
-	eAcc := make(map[string]map[string]*stats.Online, len(govs))
-	dAcc := make(map[string]map[string]*stats.Online, len(govs))
+	eAcc := make(map[GovernorID]map[string]*stats.Online, len(govs))
+	dAcc := make(map[GovernorID]map[string]*stats.Online, len(govs))
 	for _, gov := range govs {
 		eAcc[gov] = make(map[string]*stats.Online)
 		dAcc[gov] = make(map[string]*stats.Online)
@@ -40,8 +40,8 @@ func runGrid(govs []string, seeds []int64) (map[string]map[string]float64, map[s
 		eAcc[cfg.Governor][cfg.Rung.Name].Add(out.CPUJ)
 		dAcc[cfg.Governor][cfg.Rung.Name].Add(out.QoE.DropRate())
 	}
-	energyJ := make(map[string]map[string]float64, len(govs))
-	drops := make(map[string]map[string]float64, len(govs))
+	energyJ := make(map[GovernorID]map[string]float64, len(govs))
+	drops := make(map[GovernorID]map[string]float64, len(govs))
 	for _, gov := range govs {
 		energyJ[gov] = make(map[string]float64)
 		drops[gov] = make(map[string]float64)
@@ -77,7 +77,7 @@ func FigF5() (Table, error) {
 			saving = pct((base["720p"] - e["720p"]) / base["720p"])
 		}
 		t.Rows = append(t.Rows, []string{
-			gov, f1(e["360p"]), f1(e["480p"]), f1(e["720p"]), f1(e["1080p"]), saving,
+			string(gov), f1(e["360p"]), f1(e["480p"]), f1(e["720p"]), f1(e["1080p"]), saving,
 		})
 	}
 	return t, nil
@@ -99,7 +99,7 @@ func FigF6() (Table, error) {
 	for _, gov := range headlineGovernors() {
 		d := drops[gov]
 		t.Rows = append(t.Rows, []string{
-			gov, pct(d["360p"]), pct(d["480p"]), pct(d["720p"]), pct(d["1080p"]),
+			string(gov), pct(d["360p"]), pct(d["480p"]), pct(d["720p"]), pct(d["1080p"]),
 		})
 	}
 	return t, nil
@@ -114,7 +114,7 @@ func FigF12() (Table, error) {
 		Header: []string{"resolution", "energyaware_j", "oracle_j", "gap"},
 		Notes:  "the online policy lands within ~5–20% of the clairvoyant lower bound",
 	}
-	rows, _, err := runGrid([]string{"energyaware", "oracle"}, headlineSeeds())
+	rows, _, err := runGrid([]GovernorID{GovEnergyAware, GovOracle}, headlineSeeds())
 	if err != nil {
 		return Table{}, err
 	}

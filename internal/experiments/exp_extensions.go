@@ -59,7 +59,7 @@ func FigF18() (Table, error) {
 	base.Rung = video.R480p // feasible on every device class
 	var cfgs []RunConfig
 	for _, dev := range cpu.Devices() {
-		for _, gov := range []string{"ondemand", "energyaware"} {
+		for _, gov := range []GovernorID{GovOndemand, GovEnergyAware} {
 			cfg := base
 			cfg.Device = dev
 			cfg.Governor = gov
@@ -98,14 +98,14 @@ func FigF19() (Table, error) {
 	base := DefaultRunConfig()
 	base.Duration = 120 * sim.Second
 	base.LowLatency = true
-	cfgs := Sweep{Base: base, Governors: []string{"performance", "ondemand", "interactive", "energyaware", "oracle"}}.Expand()
+	cfgs := Sweep{Base: base, Governors: []GovernorID{GovPerformance, GovOndemand, GovInteractive, GovEnergyAware, GovOracle}}.Expand()
 	results, err := runAllStrict(cfgs)
 	if err != nil {
 		return Table{}, fmt.Errorf("f19: %w", err)
 	}
 	for i, res := range results {
 		t.Rows = append(t.Rows, []string{
-			cfgs[i].Governor, f2c(res.QoE.StartupDelay.Seconds()), f1(res.CPUJ),
+			string(cfgs[i].Governor), f2c(res.QoE.StartupDelay.Seconds()), f1(res.CPUJ),
 			f2c(res.MeanFreqGHz), iv(res.QoE.DroppedFrames), iv(res.QoE.RebufferCount),
 		})
 	}

@@ -18,7 +18,7 @@ func FigF16() (Table, error) {
 		Notes:  "deep idle recovers part of racing's waste (idle is ~70% of time at fmax) but pacing still wins by ≈2×: energy/cycle at fmax is ~4× the minimum",
 	}
 	var cfgs []RunConfig
-	for _, gov := range []string{"performance", "energyaware"} {
+	for _, gov := range []GovernorID{GovPerformance, GovEnergyAware} {
 		for _, cstates := range []bool{false, true} {
 			cfg := DefaultRunConfig()
 			cfg.Governor = gov
@@ -33,9 +33,9 @@ func FigF16() (Table, error) {
 	for i, res := range results {
 		cfg := cfgs[i]
 		idleShare, deepShare := idleShares(res)
-		name := "race (" + cfg.Governor + ")"
-		if cfg.Governor == "energyaware" {
-			name = "pace (" + cfg.Governor + ")"
+		name := "race (" + string(cfg.Governor) + ")"
+		if cfg.Governor == GovEnergyAware {
+			name = "pace (" + string(cfg.Governor) + ")"
 		}
 		t.Rows = append(t.Rows, []string{
 			name, onOff(cfg.CStates), f1(res.CPUJ), pct(idleShare), pct(deepShare),

@@ -76,8 +76,8 @@ func FigF3() (Table, error) {
 }
 
 // motivationGovernors is the governor set for the residency comparison.
-func motivationGovernors() []string {
-	return []string{"performance", "ondemand", "interactive", "schedutil", "conservative", "energyaware", "oracle"}
+func motivationGovernors() []GovernorID {
+	return []GovernorID{GovPerformance, GovOndemand, GovInteractive, GovSchedutil, GovConservative, GovEnergyAware, GovOracle}
 }
 
 // FigF4 reproduces Figure 4: frequency-residency distribution per
@@ -99,7 +99,7 @@ func FigF4() (Table, error) {
 		cfg := cfgs[i]
 		low, mid, high := residencyBands(res, cfg.Device.Fmax(), oppFreqs(cfg))
 		t.Rows = append(t.Rows, []string{
-			cfg.Governor, f2c(res.MeanFreqGHz), pct(low), pct(mid), pct(high),
+			string(cfg.Governor), f2c(res.MeanFreqGHz), pct(low), pct(mid), pct(high),
 			f1(res.CPUJ), iv(res.QoE.DroppedFrames),
 		})
 	}

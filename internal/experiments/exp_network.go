@@ -18,7 +18,7 @@ func FigF10() (Table, error) {
 	}
 	var cfgs []RunConfig
 	for _, net := range NetKinds() {
-		for _, gov := range []string{"ondemand", "energyaware"} {
+		for _, gov := range []GovernorID{GovOndemand, GovEnergyAware} {
 			cfg := DefaultRunConfig()
 			cfg.Governor = gov
 			cfg.Net = net
@@ -33,7 +33,7 @@ func FigF10() (Table, error) {
 	for i, res := range results {
 		cfg := cfgs[i]
 		t.Rows = append(t.Rows, []string{
-			string(cfg.Net), cfg.Governor, f1(res.CPUJ), f1(res.RadioJ),
+			string(cfg.Net), string(cfg.Governor), f1(res.CPUJ), f1(res.RadioJ),
 			iv(res.QoE.RebufferCount), f2c(res.QoE.RebufferTime.Seconds()),
 			iv(res.QoE.DroppedFrames),
 		})
@@ -52,7 +52,7 @@ func FigF11() (Table, error) {
 	baseCfg := DefaultRunConfig()
 	baseCfg.Net = NetLTE
 	baseCfg.Duration = 120 * sim.Second
-	cfgs := Sweep{Base: baseCfg, Governors: []string{"performance", "ondemand", "interactive", "energyaware", "oracle"}}.Expand()
+	cfgs := Sweep{Base: baseCfg, Governors: []GovernorID{GovPerformance, GovOndemand, GovInteractive, GovEnergyAware, GovOracle}}.Expand()
 	results, err := runAllStrict(cfgs)
 	if err != nil {
 		return Table{}, fmt.Errorf("f11: %w", err)
@@ -69,7 +69,7 @@ func FigF11() (Table, error) {
 			saving = pct((base - res.TotalJ()) / base)
 		}
 		t.Rows = append(t.Rows, []string{
-			cfgs[i].Governor, f1(res.CPUJ), f1(res.RadioJ), f1(res.DisplayJ),
+			string(cfgs[i].Governor), f1(res.CPUJ), f1(res.RadioJ), f1(res.DisplayJ),
 			f1(res.TotalJ()), saving,
 		})
 	}

@@ -16,7 +16,7 @@ func FigF20() (Table, error) {
 		Header: []string{"governor", "switches", "sw_per_s", "cpu_j", "+10uJ/sw", "+100uJ/sw", "+1mJ/sw"},
 		Notes:  "the per-frame policy switches less than ondemand (its setpoint rule is stable where ondemand oscillates); even a 1 mJ/switch cost leaves it far ahead",
 	}
-	cfgs := Sweep{Base: DefaultRunConfig(), Governors: []string{"ondemand", "interactive", "schedutil", "energyaware", "oracle"}}.Expand()
+	cfgs := Sweep{Base: DefaultRunConfig(), Governors: []GovernorID{GovOndemand, GovInteractive, GovSchedutil, GovEnergyAware, GovOracle}}.Expand()
 	results, err := runAllStrict(cfgs)
 	if err != nil {
 		return Table{}, fmt.Errorf("f20: %w", err)
@@ -24,7 +24,7 @@ func FigF20() (Table, error) {
 	for i, res := range results {
 		n := float64(res.OPPTransitions)
 		t.Rows = append(t.Rows, []string{
-			cfgs[i].Governor,
+			string(cfgs[i].Governor),
 			iv(res.OPPTransitions),
 			f1(n / res.SimEnd.Seconds()),
 			f1(res.CPUJ),

@@ -7,8 +7,8 @@ import (
 )
 
 // qoeGovernors is the policy set for the QoE table.
-func qoeGovernors() []string {
-	return []string{"performance", "ondemand", "interactive", "energyaware", "oracle"}
+func qoeGovernors() []GovernorID {
+	return []GovernorID{GovPerformance, GovOndemand, GovInteractive, GovEnergyAware, GovOracle}
 }
 
 // TableT2 reproduces Table 2: the QoE summary per policy on a variable
@@ -32,7 +32,7 @@ func TableT2() (Table, error) {
 	for i, res := range results {
 		q := res.QoE
 		t.Rows = append(t.Rows, []string{
-			cfgs[i].Governor,
+			string(cfgs[i].Governor),
 			f2c(q.StartupDelay.Seconds()),
 			iv(q.RebufferCount),
 			f2c(q.RebufferTime.Seconds()),
@@ -55,8 +55,8 @@ func FigF13() (Table, error) {
 		Notes:  "savings hold under every ABR; BBA + energy-aware gives the best joint energy/QoE",
 	}
 	var cfgs []RunConfig
-	for _, abrName := range []string{"rate", "bba"} {
-		for _, gov := range []string{"ondemand", "interactive", "energyaware"} {
+	for _, abrName := range []ABRID{ABRRate, ABRBBA} {
+		for _, gov := range []GovernorID{GovOndemand, GovInteractive, GovEnergyAware} {
 			cfg := DefaultRunConfig()
 			cfg.Governor = gov
 			cfg.Net = NetLTE
@@ -71,7 +71,7 @@ func FigF13() (Table, error) {
 	}
 	for i, res := range results {
 		t.Rows = append(t.Rows, []string{
-			cfgs[i].ABR, cfgs[i].Governor, f1(res.CPUJ),
+			string(cfgs[i].ABR), string(cfgs[i].Governor), f1(res.CPUJ),
 			f2c(res.QoE.MeanRungBps / 1e6),
 			f2c(res.QoE.RebufferTime.Seconds()),
 			iv(res.QoE.DroppedFrames),

@@ -25,7 +25,7 @@ func FigF14() (Table, error) {
 	th := cpu.DefaultThermalConfig()
 	th.TripC = 62 // tight flagship skin budget: sustained 1080p is marginal
 	base.Thermal = &th
-	cfgs := Sweep{Base: base, Governors: []string{"performance", "ondemand", "interactive", "schedutil", "energyaware"}}.Expand()
+	cfgs := Sweep{Base: base, Governors: []GovernorID{GovPerformance, GovOndemand, GovInteractive, GovSchedutil, GovEnergyAware}}.Expand()
 	results, err := runAllStrict(cfgs)
 	if err != nil {
 		return Table{}, fmt.Errorf("f14: %w", err)
@@ -36,7 +36,7 @@ func FigF14() (Table, error) {
 			meanW = res.CPUJ / res.SimEnd.Seconds()
 		}
 		t.Rows = append(t.Rows, []string{
-			cfgs[i].Governor, f2c(meanW), f1(res.MaxTempC), iv(res.ThrottleEvents),
+			string(cfgs[i].Governor), f2c(meanW), f1(res.MaxTempC), iv(res.ThrottleEvents),
 			f1(res.ThrottledS), iv(res.QoE.DroppedFrames), f1(res.CPUJ),
 		})
 	}
@@ -58,14 +58,14 @@ func TableT4() (Table, error) {
 	baseCfg.Net = NetLTE
 	baseCfg.ABR = "bba"
 	baseCfg.Duration = 120 * sim.Second
-	cfgs := Sweep{Base: baseCfg, Governors: []string{"performance", "ondemand", "interactive", "energyaware", "oracle"}}.Expand()
+	cfgs := Sweep{Base: baseCfg, Governors: []GovernorID{GovPerformance, GovOndemand, GovInteractive, GovEnergyAware, GovOracle}}.Expand()
 	results, err := runAllStrict(cfgs)
 	if err != nil {
 		return Table{}, fmt.Errorf("t4: %w", err)
 	}
 	var baseHours float64
 	type row struct {
-		gov   string
+		gov   GovernorID
 		w     [4]float64
 		hours float64
 	}
@@ -89,7 +89,7 @@ func TableT4() (Table, error) {
 			gain = pct((r.hours - baseHours) / baseHours)
 		}
 		t.Rows = append(t.Rows, []string{
-			r.gov, f2c(r.w[0]), f2c(r.w[1]), f2c(r.w[2]), f2c(r.w[3]),
+			string(r.gov), f2c(r.w[0]), f2c(r.w[1]), f2c(r.w[2]), f2c(r.w[3]),
 			f2c(r.hours), gain,
 		})
 	}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"videodvfs/internal/abr"
+	"videodvfs/internal/governor"
+)
+
+// GovernorID is a typed governor identifier: one of the stock cpufreq
+// baselines, "energyaware", or "oracle". The zero value is invalid; use
+// ParseGovernorID to convert untrusted strings (CLI flags, config files)
+// into a validated ID.
+type GovernorID string
+
+// Built-in governors.
+const (
+	// GovPerformance pins the top OPP.
+	GovPerformance GovernorID = "performance"
+	// GovPowersave pins the bottom OPP.
+	GovPowersave GovernorID = "powersave"
+	// GovOndemand is the sampling-based stock default.
+	GovOndemand GovernorID = "ondemand"
+	// GovConservative is ondemand with gradual steps.
+	GovConservative GovernorID = "conservative"
+	// GovInteractive is the Android-era touch-boost governor.
+	GovInteractive GovernorID = "interactive"
+	// GovSchedutil is the scheduler-utilization governor.
+	GovSchedutil GovernorID = "schedutil"
+	// GovEnergyAware is the paper's video-aware policy.
+	GovEnergyAware GovernorID = "energyaware"
+	// GovOracle is the offline-optimal reference.
+	GovOracle GovernorID = "oracle"
+)
+
+// ErrUnknownGovernor reports a governor name outside GovernorIDs();
+// distinguish it with errors.Is.
+var ErrUnknownGovernor = errors.New("unknown governor")
+
+// ErrUnknownABR reports an ABR name outside ABRIDs(); distinguish it
+// with errors.Is.
+var ErrUnknownABR = errors.New("unknown ABR algorithm")
+
+// GovernorIDs returns every governor Run accepts, in report order: the
+// stock baselines followed by energyaware and oracle.
+func GovernorIDs() []GovernorID {
+	base := governor.BaselineNames()
+	out := make([]GovernorID, 0, len(base)+2)
+	for _, n := range base {
+		out = append(out, GovernorID(n))
+	}
+	return append(out, GovEnergyAware, GovOracle)
+}
+
+// ParseGovernorID validates a governor name from an untrusted source.
+// Unknown names return an error matching ErrUnknownGovernor.
+func ParseGovernorID(name string) (GovernorID, error) {
+	for _, id := range GovernorIDs() {
+		if GovernorID(name) == id {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownGovernor, name, GovernorIDs())
+}
+
+// ABRID is a typed adaptation-algorithm identifier. The empty string is
+// accepted by Run as ABRFixed; use ParseABRID to validate untrusted
+// strings.
+type ABRID string
+
+// Built-in adaptation algorithms.
+const (
+	// ABRFixed pins one rendition (RunConfig.Rung).
+	ABRFixed ABRID = "fixed"
+	// ABRRate is the classic throughput-rule algorithm.
+	ABRRate ABRID = "rate"
+	// ABRBBA is the buffer-based BBA-0 style algorithm.
+	ABRBBA ABRID = "bba"
+)
+
+// ABRIDs returns every adaptation algorithm Run accepts, in report
+// order.
+func ABRIDs() []ABRID { return []ABRID{ABRFixed, ABRRate, ABRBBA} }
+
+// ParseABRID validates an ABR name from an untrusted source. The empty
+// string parses as ABRFixed; unknown names return an error matching
+// ErrUnknownABR.
+func ParseABRID(name string) (ABRID, error) {
+	if name == "" {
+		return ABRFixed, nil
+	}
+	for _, id := range ABRIDs() {
+		if ABRID(name) == id {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownABR, name, ABRIDs())
+}
+
+var _ = abr.Names // the ABR registry itself lives in internal/abr

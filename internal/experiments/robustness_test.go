@@ -155,7 +155,7 @@ func TestHEVCTradesCPUForRadio(t *testing.T) {
 
 // TestLowLatencyModeKeepsSavings asserts the F19 claim.
 func TestLowLatencyModeKeepsSavings(t *testing.T) {
-	run := func(gov string) RunResult {
+	run := func(gov GovernorID) RunResult {
 		cfg := DefaultRunConfig()
 		cfg.Governor = gov
 		cfg.LowLatency = true
@@ -176,7 +176,7 @@ func TestLowLatencyModeKeepsSavings(t *testing.T) {
 
 // TestCStatesNeverHurt asserts the cpuidle model only reduces energy.
 func TestCStatesNeverHurt(t *testing.T) {
-	for _, gov := range []string{"performance", "energyaware"} {
+	for _, gov := range []GovernorID{GovPerformance, GovEnergyAware} {
 		base := DefaultRunConfig()
 		base.Governor = gov
 		plain := mustRun(t, base)

@@ -16,6 +16,7 @@ import (
 	"videodvfs/internal/netsim"
 	"videodvfs/internal/player"
 	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
 	"videodvfs/internal/video"
 )
 
@@ -41,8 +42,10 @@ func NetKinds() []NetKind { return []NetKind{NetWiFi, NetConst8, NetLTE, NetUMTS
 type RunConfig struct {
 	// Device is the CPU model (DeviceFlagship if zero).
 	Device cpu.Model
-	// Governor is a cpufreq name, "energyaware", or "oracle".
-	Governor string
+	// Governor selects the frequency policy: a stock cpufreq baseline,
+	// GovEnergyAware, or GovOracle. Convert untrusted strings with
+	// ParseGovernorID.
+	Governor GovernorID
 	// Policy tunes the energy-aware governor (DefaultConfig if zero).
 	Policy core.Config
 	// Title is the content profile (TitleSports default: the demanding
@@ -51,8 +54,9 @@ type RunConfig struct {
 	// Rung pins a single rendition by resolution when ABR is "" or
 	// "fixed".
 	Rung video.Resolution
-	// ABR names the adaptation algorithm ("", "fixed", "rate", "bba").
-	ABR string
+	// ABR selects the adaptation algorithm ("" = ABRFixed). Convert
+	// untrusted strings with ParseABRID.
+	ABR ABRID
 	// Net selects the bandwidth profile.
 	Net NetKind
 	// RRC configures the radio (DefaultUMTS for NetUMTS, DefaultLTE
@@ -97,6 +101,11 @@ type RunConfig struct {
 	// virtual time: CPU frequency, CPU power, media buffer level. Used by
 	// dvfsim's -timeline output for plotting.
 	OnSample func(t sim.Time, freqGHz, cpuW, bufferSec float64)
+	// Tracer, if set, receives the run's structured event stream: governor
+	// decisions, frame lifecycle, OPP and C-state transitions, RRC state
+	// changes, ABR switches, buffer levels, and per-component power. nil
+	// (the default) disables tracing with zero overhead on the hot path.
+	Tracer trace.Tracer
 }
 
 // DefaultRunConfig returns the evaluation's base case: flagship device,
@@ -105,11 +114,11 @@ type RunConfig struct {
 func DefaultRunConfig() RunConfig {
 	return RunConfig{
 		Device:     cpu.DeviceFlagship(),
-		Governor:   "energyaware",
+		Governor:   GovEnergyAware,
 		Policy:     core.DefaultConfig(),
 		Title:      video.TitleSports,
 		Rung:       video.R720p,
-		ABR:        "fixed",
+		ABR:        ABRFixed,
 		Net:        NetConst8,
 		Duration:   60 * sim.Second,
 		Seed:       1,
@@ -153,11 +162,40 @@ type RunResult struct {
 // TotalJ returns whole-device energy.
 func (r RunResult) TotalJ() float64 { return r.CPUJ + r.RadioJ + r.DisplayJ }
 
+// ErrInvalidConfig reports a RunConfig rejected by Validate before any
+// simulation state was built. Callers distinguish it with errors.Is;
+// parse-level sentinels (ErrUnknownGovernor, ErrUnknownABR) also match
+// through it.
+var ErrInvalidConfig = errors.New("invalid run config")
+
+// Validate checks the knobs Run cannot default: the governor and ABR
+// names, the network kind, and the duration. It runs up front in Run so a
+// bad config fails before any engine state exists, with every violation
+// wrapped in ErrInvalidConfig.
+func (cfg RunConfig) Validate() error {
+	if _, err := ParseGovernorID(string(cfg.Governor)); err != nil {
+		return fmt.Errorf("experiments: %w: %w", ErrInvalidConfig, err)
+	}
+	if _, err := ParseABRID(string(cfg.ABR)); err != nil {
+		return fmt.Errorf("experiments: %w: %w", ErrInvalidConfig, err)
+	}
+	switch cfg.Net {
+	case NetWiFi, NetConst8, NetLTE, NetUMTS, "":
+	default:
+		return fmt.Errorf("experiments: %w: unknown network kind %q (known: %v)",
+			ErrInvalidConfig, cfg.Net, NetKinds())
+	}
+	if cfg.Duration <= 0 && cfg.Trace == nil {
+		return fmt.Errorf("experiments: %w: duration %v not positive", ErrInvalidConfig, cfg.Duration)
+	}
+	return nil
+}
+
 // buildGovernor returns the governor plus, when video-aware, its session
-// hooks.
-func buildGovernor(cfg RunConfig) (governor.Governor, player.SessionHooks, *core.Governor, error) {
+// hooks; a non-nil tracer is attached to the video-aware policies.
+func buildGovernor(cfg RunConfig, tr trace.Tracer) (governor.Governor, player.SessionHooks, *core.Governor, error) {
 	switch cfg.Governor {
-	case "energyaware":
+	case GovEnergyAware:
 		pol := cfg.Policy
 		if pol == (core.Config{}) {
 			pol = core.DefaultConfig()
@@ -166,12 +204,18 @@ func buildGovernor(cfg RunConfig) (governor.Governor, player.SessionHooks, *core
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		if tr != nil {
+			g.SetTracer(tr)
+		}
 		return g, g, g, nil
-	case "oracle":
+	case GovOracle:
 		o := core.NewOracle()
+		if tr != nil {
+			o.SetTracer(tr)
+		}
 		return o, o, nil, nil
 	default:
-		g, err := governor.New(cfg.Governor)
+		g, err := governor.New(string(cfg.Governor))
 		if err != nil {
 			return nil, nil, nil, err
 		}
@@ -229,7 +273,7 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 		}
 	}
 	switch cfg.ABR {
-	case "", "fixed":
+	case "", ABRFixed:
 		spec := video.DefaultSpec(cfg.Title, cfg.Rung).WithCodec(codec)
 		spec.FPS = fps
 		s, err := video.Generate(spec, cfg.Duration, cfg.Seed)
@@ -238,7 +282,7 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 		}
 		return []*video.Stream{s}, abr.Fixed{Rung: 0}, nil
 	default:
-		algo, err := abr.New(cfg.ABR)
+		algo, err := abr.New(string(cfg.ABR))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -256,13 +300,15 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 // Callers distinguish it with errors.Is.
 var ErrHorizonExceeded = errors.New("simulation horizon exceeded")
 
-// Run executes one simulation and returns its result.
+// Run executes one simulation and returns its result. The config is
+// validated up front (see Validate); invalid configs fail with
+// ErrInvalidConfig before any simulation state is built.
 func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.Trace != nil && cfg.Duration <= 0 {
 		cfg.Duration = cfg.Trace.Duration()
 	}
-	if cfg.Duration <= 0 {
-		return RunResult{}, fmt.Errorf("experiments: duration %v not positive", cfg.Duration)
+	if err := cfg.Validate(); err != nil {
+		return RunResult{}, err
 	}
 	if cfg.Device.Name == "" {
 		cfg.Device = cpu.DeviceFlagship()
@@ -273,6 +319,20 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.Rung.Name == "" {
 		cfg.Rung = video.R720p
 	}
+
+	tr := cfg.Tracer
+	var closeTrace func() error
+	if tr == nil {
+		if f := currentTraceFactory(); f != nil {
+			tr, closeTrace = f(cfg)
+		}
+	}
+	closed := false
+	defer func() {
+		if closeTrace != nil && !closed {
+			closeTrace() // error path: best-effort flush
+		}
+	}()
 
 	eng := sim.NewEngine()
 	meter := energy.NewMeter(eng)
@@ -286,9 +346,12 @@ func Run(cfg RunConfig) (RunResult, error) {
 			return RunResult{}, err
 		}
 	}
-	coreCPU.OnPower(meter.Listener(energy.ComponentCPU))
+	if tr != nil {
+		coreCPU.SetTracer(tr)
+	}
+	coreCPU.OnPower(tracedListener(meter, energy.ComponentCPU, tr))
 
-	gov, hooks, eaGov, err := buildGovernor(cfg)
+	gov, hooks, eaGov, err := buildGovernor(cfg, tr)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -305,7 +368,10 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	radio.OnPower(meter.Listener(energy.ComponentRadio))
+	if tr != nil {
+		radio.SetTracer(tr)
+	}
+	radio.OnPower(tracedListener(meter, energy.ComponentRadio, tr))
 
 	dl, err := netsim.NewDownloader(eng, bw, radio, coreCPU, netsim.DefaultDownloaderConfig())
 	if err != nil {
@@ -341,6 +407,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	pcfg.ABR = algo
 	pcfg.Hooks = hooks
 	pcfg.Meter = meter
+	pcfg.Tracer = tr
 	if cfg.LowLatency {
 		pcfg.StartupSec = 1
 		pcfg.ResumeSec = 0.5
@@ -378,6 +445,13 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	end := eng.RunUntil(horizon)
 	meter.Finish()
+
+	if closeTrace != nil {
+		closed = true
+		if cerr := closeTrace(); cerr != nil {
+			return RunResult{}, fmt.Errorf("experiments: trace sink: %w", cerr)
+		}
+	}
 
 	if err := sess.Err(); err != nil {
 		return RunResult{}, fmt.Errorf("experiments: session: %w", err)

@@ -57,8 +57,8 @@ func TestRunCompletesAndAccounts(t *testing.T) {
 
 // TestHeadlineShape asserts the paper's central claims on the base case.
 func TestHeadlineShape(t *testing.T) {
-	results := make(map[string]RunResult)
-	for _, gov := range []string{"performance", "powersave", "ondemand", "interactive", "energyaware", "oracle"} {
+	results := make(map[GovernorID]RunResult)
+	for _, gov := range []GovernorID{GovPerformance, GovPowersave, GovOndemand, GovInteractive, GovEnergyAware, GovOracle} {
 		cfg := DefaultRunConfig()
 		cfg.Governor = gov
 		results[gov] = mustRun(t, cfg)
@@ -90,8 +90,8 @@ func TestHeadlineShape(t *testing.T) {
 }
 
 func TestRunMeanFrequencyOrdering(t *testing.T) {
-	freqs := make(map[string]float64)
-	for _, gov := range []string{"performance", "powersave", "energyaware"} {
+	freqs := make(map[GovernorID]float64)
+	for _, gov := range []GovernorID{GovPerformance, GovPowersave, GovEnergyAware} {
 		cfg := DefaultRunConfig()
 		cfg.Governor = gov
 		freqs[gov] = mustRun(t, cfg).MeanFreqGHz
@@ -313,7 +313,7 @@ func TestHeadlineGridShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("grid is a long test")
 	}
-	eg, dg, err := runGrid([]string{"energyaware"}, []int64{1})
+	eg, dg, err := runGrid([]GovernorID{GovEnergyAware}, []int64{1})
 	if err != nil {
 		t.Fatal(err)
 	}

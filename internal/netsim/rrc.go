@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
 )
 
 // RRCState is a radio resource control state. The three-state machine
@@ -121,6 +122,7 @@ type Radio struct {
 
 	onPower func(now sim.Time, watts float64)
 	onState func(now sim.Time, s RRCState)
+	tracer  trace.Tracer
 
 	dwell     map[RRCState]sim.Time
 	lastDwell sim.Time
@@ -152,6 +154,9 @@ func (r *Radio) OnPower(fn func(now sim.Time, watts float64)) {
 
 // OnState registers a state-transition listener.
 func (r *Radio) OnState(fn func(now sim.Time, s RRCState)) { r.onState = fn }
+
+// SetTracer attaches a structured tracer receiving RRC state changes.
+func (r *Radio) SetTracer(tr trace.Tracer) { r.tracer = tr }
 
 // Power returns the current radio draw in watts.
 func (r *Radio) Power() float64 {
@@ -196,6 +201,9 @@ func (r *Radio) setState(s RRCState) {
 	r.state = s
 	if r.onState != nil {
 		r.onState(now, s)
+	}
+	if r.tracer != nil {
+		r.tracer.RRC(trace.RRCEvent{T: now, State: s.String()})
 	}
 	r.emitPower()
 }

@@ -12,6 +12,8 @@ import (
 	"videodvfs/internal/decode"
 	"videodvfs/internal/energy"
 	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
+	"videodvfs/internal/video"
 )
 
 // SessionHooks is the player-side integration surface for video-aware
@@ -46,6 +48,39 @@ func (NopSessionHooks) DownloadActivity(sim.Time, bool) {}
 func (NopSessionHooks) BufferState(sim.Time, float64, int, int) {}
 
 var _ SessionHooks = NopSessionHooks{}
+
+// tracingHooks decorates SessionHooks with structured event emission:
+// decode start/end become FrameEvents, buffer and playback callbacks
+// become Buffer/Playback events. Events fire before the inner hooks so a
+// governor's Decision lands after the frame's decode_start in the stream.
+type tracingHooks struct {
+	SessionHooks
+	tr trace.Tracer
+}
+
+// DecodeStart implements decode.Hooks.
+func (h tracingHooks) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, ready, queueCap int) {
+	h.tr.Frame(trace.FrameEvent{T: now, Stage: trace.StageDecodeStart, Frame: f.Index, Type: f.Type, Deadline: deadline})
+	h.SessionHooks.DecodeStart(now, f, deadline, ready, queueCap)
+}
+
+// DecodeEnd implements decode.Hooks.
+func (h tracingHooks) DecodeEnd(now sim.Time, f video.Frame, deadline sim.Time, measuredCycles float64) {
+	h.tr.Frame(trace.FrameEvent{T: now, Stage: trace.StageDecodeEnd, Frame: f.Index, Type: f.Type, Deadline: deadline, Cycles: measuredCycles})
+	h.SessionHooks.DecodeEnd(now, f, deadline, measuredCycles)
+}
+
+// PlaybackState implements SessionHooks.
+func (h tracingHooks) PlaybackState(now sim.Time, playing bool) {
+	h.tr.Playback(trace.PlaybackEvent{T: now, Playing: playing})
+	h.SessionHooks.PlaybackState(now, playing)
+}
+
+// BufferState implements SessionHooks.
+func (h tracingHooks) BufferState(now sim.Time, mediaSec float64, readyFrames, readyCap int) {
+	h.tr.Buffer(trace.BufferEvent{T: now, LevelSec: mediaSec, Ready: readyFrames, Cap: readyCap})
+	h.SessionHooks.BufferState(now, mediaSec, readyFrames, readyCap)
+}
 
 // Config tunes a streaming session.
 type Config struct {
@@ -83,6 +118,10 @@ type Config struct {
 	Hooks SessionHooks
 	// Meter, if set, receives display power.
 	Meter *energy.Meter
+	// Tracer, if set, receives frame lifecycle, ABR, buffer, playback,
+	// and display-power events. nil (the default) disables tracing with
+	// zero overhead on the playback path.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig returns the evaluation defaults: 4 s startup, 2 s resume,

@@ -9,6 +9,7 @@ import (
 	"videodvfs/internal/energy"
 	"videodvfs/internal/sim"
 	"videodvfs/internal/stats"
+	"videodvfs/internal/trace"
 	"videodvfs/internal/video"
 )
 
@@ -95,6 +96,9 @@ func NewSession(eng *sim.Engine, core decode.Submitter, fet Fetcher, renditions 
 	if hooks == nil {
 		hooks = NopSessionHooks{}
 	}
+	if cfg.Tracer != nil {
+		hooks = tracingHooks{SessionHooks: hooks, tr: cfg.Tracer}
+	}
 	s := &Session{
 		eng:        eng,
 		core:       core,
@@ -134,6 +138,9 @@ func (s *Session) Start() {
 	s.metrics.TotalFrames = s.total
 	if s.cfg.Meter != nil {
 		s.cfg.Meter.Set(energy.ComponentDisplay, s.cfg.DisplayPowerW)
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Power(trace.PowerEvent{T: s.eng.Now(), Component: energy.ComponentDisplay, Watts: s.cfg.DisplayPowerW})
 	}
 	s.hooks.StreamInfo(s.fps, s.total)
 	s.hooks.PlaybackState(s.eng.Now(), false)
@@ -210,6 +217,10 @@ func (s *Session) maybeFetch() {
 	if s.lastRung >= 0 && rung != s.lastRung {
 		s.metrics.RungSwitches++
 	}
+	if s.cfg.Tracer != nil && rung != s.lastRung {
+		s.cfg.Tracer.ABR(trace.ABREvent{T: s.eng.Now(), Segment: s.nextSeg,
+			FromRung: s.lastRung, ToRung: rung, RateBps: s.rates[rung]})
+	}
 	seg := s.segments[rung][s.nextSeg]
 	s.fetching = true
 	fetchStart := s.eng.Now()
@@ -282,6 +293,9 @@ func (s *Session) tick() {
 		s.playhead++
 		s.nextTickAt += sim.Time(1 / s.fps)
 		s.metrics.DisplayedFrames++
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Frame(trace.FrameEvent{T: s.eng.Now(), Stage: trace.StageShown, Frame: idx})
+		}
 		if _, ok := s.dec.Pop(idx); !ok && s.err == nil {
 			s.err = fmt.Errorf("player: frame %d vanished between Ready and Pop", idx)
 		}
@@ -298,6 +312,9 @@ func (s *Session) tick() {
 	}
 	// Downloaded but not decoded in time: drop the slot.
 	s.metrics.DroppedFrames++
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Frame(trace.FrameEvent{T: s.eng.Now(), Stage: trace.StageDropped, Frame: idx})
+	}
 	s.playhead++
 	s.nextTickAt += sim.Time(1 / s.fps)
 	s.dec.DiscardBelow(idx + 1)
@@ -328,6 +345,9 @@ func (s *Session) finish() {
 	}
 	if s.cfg.Meter != nil {
 		s.cfg.Meter.Set(energy.ComponentDisplay, 0)
+	}
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Power(trace.PowerEvent{T: now, Component: energy.ComponentDisplay, Watts: 0})
 	}
 	if s.audioTicker != nil {
 		s.audioTicker.Stop()

@@ -1,0 +1,69 @@
+package videodvfs
+
+// Option mutates a RunConfig under construction; see NewSession.
+type Option func(*RunConfig)
+
+// NewSession builds a RunConfig from DefaultSession plus the given
+// options, applied in order:
+//
+//	cfg := videodvfs.NewSession(
+//		videodvfs.WithGovernor(videodvfs.GovOndemand),
+//		videodvfs.WithNet(videodvfs.NetLTE),
+//		videodvfs.WithSeed(7),
+//	)
+//
+// The result is a plain RunConfig: fields without options can still be
+// set directly before passing it to Run.
+func NewSession(opts ...Option) RunConfig {
+	cfg := DefaultSession()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
+
+// WithDevice selects the CPU model.
+func WithDevice(d Device) Option { return func(c *RunConfig) { c.Device = d } }
+
+// WithGovernor selects the frequency policy.
+func WithGovernor(g Governor) Option { return func(c *RunConfig) { c.Governor = g } }
+
+// WithPolicy tunes the energy-aware governor.
+func WithPolicy(p PolicyConfig) Option { return func(c *RunConfig) { c.Policy = p } }
+
+// WithTitle selects the content profile.
+func WithTitle(t Title) Option { return func(c *RunConfig) { c.Title = t } }
+
+// WithRung pins a single rendition (with ABRFixed).
+func WithRung(r Resolution) Option { return func(c *RunConfig) { c.Rung = r } }
+
+// WithABR selects the adaptation algorithm.
+func WithABR(a ABR) Option { return func(c *RunConfig) { c.ABR = a } }
+
+// WithNet selects the bandwidth profile.
+func WithNet(n NetKind) Option { return func(c *RunConfig) { c.Net = n } }
+
+// WithDuration sets the content length.
+func WithDuration(d Time) Option { return func(c *RunConfig) { c.Duration = d } }
+
+// WithSeed sets the seed driving all stochastic inputs.
+func WithSeed(seed int64) Option { return func(c *RunConfig) { c.Seed = seed } }
+
+// WithTracer attaches a structured tracer to the run; see NewJSONLTracer,
+// NewCSVTracer, and NewTraceCollector.
+func WithTracer(tr Tracer) Option { return func(c *RunConfig) { c.Tracer = tr } }
+
+// WithCodec selects the decode model by name ("h264", "hevc").
+func WithCodec(name string) Option { return func(c *RunConfig) { c.Codec = name } }
+
+// WithCStates enables the cpuidle model.
+func WithCStates() Option { return func(c *RunConfig) { c.CStates = true } }
+
+// WithLowLatency switches the player to live-streaming thresholds.
+func WithLowLatency() Option { return func(c *RunConfig) { c.LowLatency = true } }
+
+// WithBackground toggles the UI/OS background load generator.
+func WithBackground(on bool) Option { return func(c *RunConfig) { c.Background = on } }
+
+// WithFrameTrace replays an exact frame stream instead of generating one.
+func WithFrameTrace(s *Stream) Option { return func(c *RunConfig) { c.Trace = s } }

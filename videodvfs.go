@@ -20,12 +20,14 @@
 package videodvfs
 
 import (
+	"io"
+
 	"videodvfs/internal/core"
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/experiments"
-	"videodvfs/internal/governor"
 	"videodvfs/internal/player"
 	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
 	"videodvfs/internal/video"
 )
 
@@ -62,6 +64,53 @@ type (
 	Sweep = experiments.Sweep
 	// AxisStat aggregates one metric over the runs sharing an axis value.
 	AxisStat = experiments.AxisStat
+	// Stream is an exact frame-by-frame video trace (RunConfig.Trace).
+	Stream = video.Stream
+	// Governor is a typed governor identifier; see ParseGovernor.
+	Governor = experiments.GovernorID
+	// ABR is a typed adaptation-algorithm identifier; see ParseABR.
+	ABR = experiments.ABRID
+	// Tracer receives a run's structured event stream; see RunConfig.Tracer
+	// and the sink constructors NewJSONLTracer / NewCSVTracer.
+	Tracer = trace.Tracer
+	// TraceSink is a Tracer bound to an output that must be closed after
+	// the run to flush buffered events.
+	TraceSink = trace.Sink
+	// TraceCollector accumulates an event stream into TraceMetrics
+	// in-memory; see NewTraceCollector.
+	TraceCollector = trace.Collector
+	// TraceMetrics is the per-run rollup a TraceCollector produces.
+	TraceMetrics = trace.Metrics
+)
+
+// Governor identifiers accepted by RunConfig.Governor.
+const (
+	// GovPerformance pins the top OPP.
+	GovPerformance = experiments.GovPerformance
+	// GovPowersave pins the bottom OPP.
+	GovPowersave = experiments.GovPowersave
+	// GovOndemand is the sampling-based stock default.
+	GovOndemand = experiments.GovOndemand
+	// GovConservative is ondemand with gradual steps.
+	GovConservative = experiments.GovConservative
+	// GovInteractive is the Android-era touch-boost governor.
+	GovInteractive = experiments.GovInteractive
+	// GovSchedutil is the scheduler-utilization governor.
+	GovSchedutil = experiments.GovSchedutil
+	// GovEnergyAware is the paper's video-aware policy.
+	GovEnergyAware = experiments.GovEnergyAware
+	// GovOracle is the offline-optimal reference.
+	GovOracle = experiments.GovOracle
+)
+
+// ABR identifiers accepted by RunConfig.ABR.
+const (
+	// ABRFixed pins one rendition (RunConfig.Rung).
+	ABRFixed = experiments.ABRFixed
+	// ABRRate is the classic throughput-rule algorithm.
+	ABRRate = experiments.ABRRate
+	// ABRBBA is the buffer-based BBA-0 style algorithm.
+	ABRBBA = experiments.ABRBBA
 )
 
 // Network profiles.
@@ -104,11 +153,60 @@ func Resolutions() []Resolution { return video.Resolutions() }
 // ResolutionByName returns a standard resolution.
 func ResolutionByName(name string) (Resolution, error) { return video.ResolutionByName(name) }
 
-// GovernorNames returns every governor Run accepts: the stock baselines
-// plus "energyaware" and "oracle".
+// Governors returns every governor Run accepts, in report order: the
+// stock baselines followed by GovEnergyAware and GovOracle.
+func Governors() []Governor { return experiments.GovernorIDs() }
+
+// GovernorNames returns Governors as plain strings, for CLI usage lines
+// and flag validation messages.
 func GovernorNames() []string {
-	return append(governor.BaselineNames(), "energyaware", "oracle")
+	ids := experiments.GovernorIDs()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = string(id)
+	}
+	return out
 }
+
+// ABRs returns every adaptation algorithm Run accepts, in report order.
+func ABRs() []ABR { return experiments.ABRIDs() }
+
+// ParseGovernor validates a governor name from an untrusted source
+// (flags, config files). Unknown names return an error matching
+// ErrUnknownGovernor.
+func ParseGovernor(name string) (Governor, error) { return experiments.ParseGovernorID(name) }
+
+// ParseABR validates an ABR name from an untrusted source. The empty
+// string parses as ABRFixed; unknown names return an error matching
+// ErrUnknownABR.
+func ParseABR(name string) (ABR, error) { return experiments.ParseABRID(name) }
+
+// Typed sentinel errors; distinguish with errors.Is.
+var (
+	// ErrUnknownGovernor reports a governor name outside Governors().
+	ErrUnknownGovernor = experiments.ErrUnknownGovernor
+	// ErrUnknownABR reports an ABR name outside ABRs().
+	ErrUnknownABR = experiments.ErrUnknownABR
+	// ErrInvalidConfig reports a RunConfig rejected by validation before
+	// any simulation state was built.
+	ErrInvalidConfig = experiments.ErrInvalidConfig
+)
+
+// NewJSONLTracer returns a tracer serializing every event as one JSON
+// line on w, in a fixed key order so same-seed runs produce byte-identical
+// output. Close it after the run to flush.
+func NewJSONLTracer(w io.Writer) TraceSink { return trace.NewJSONL(w) }
+
+// NewCSVTracer returns a tracer serializing events to a single flat CSV
+// table on w (one header; event-inapplicable cells left empty). Close it
+// after the run to flush.
+func NewCSVTracer(w io.Writer) TraceSink { return trace.NewCSV(w) }
+
+// NewTraceCollector returns an in-memory tracer that rolls the event
+// stream up into TraceMetrics: per-OPP residency, decode-latency
+// histogram, prediction-error quantiles, and an energy-by-component
+// timeline. Call Finalize(res.SimEnd) after the run.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
 
 // DefaultPolicy returns the paper-default tuning of the energy-aware
 // governor.

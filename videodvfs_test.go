@@ -2,6 +2,7 @@ package videodvfs
 
 import (
 	"errors"
+	"reflect"
 	"testing"
 )
 
@@ -73,6 +74,56 @@ func TestFacadeBatch(t *testing.T) {
 	rows := sweep.Aggregate(outs, func(r RunResult) float64 { return r.CPUJ })
 	if len(rows) != 3 || rows[0].Axis != "seed" {
 		t.Fatalf("aggregate rows = %+v, want one per seed", rows)
+	}
+}
+
+func TestFacadeParse(t *testing.T) {
+	if g, err := ParseGovernor("energyaware"); err != nil || g != GovEnergyAware {
+		t.Fatalf("ParseGovernor = %v, %v", g, err)
+	}
+	if _, err := ParseGovernor("warpdrive"); !errors.Is(err, ErrUnknownGovernor) {
+		t.Fatalf("want ErrUnknownGovernor, got %v", err)
+	}
+	if a, err := ParseABR(""); err != nil || a != ABRFixed {
+		t.Fatalf("ParseABR(\"\") = %v, %v, want the fixed default", a, err)
+	}
+	if _, err := ParseABR("mpc"); !errors.Is(err, ErrUnknownABR) {
+		t.Fatalf("want ErrUnknownABR, got %v", err)
+	}
+	if len(Governors()) != len(GovernorNames()) {
+		t.Fatal("Governors and GovernorNames disagree")
+	}
+	if len(ABRs()) == 0 {
+		t.Fatal("no ABR algorithms listed")
+	}
+}
+
+func TestFacadeSessionOptions(t *testing.T) {
+	cfg := NewSession(
+		WithGovernor(GovOracle),
+		WithNet(NetLTE),
+		WithABR(ABRBBA),
+		WithDuration(30*Second),
+		WithSeed(7),
+	)
+	if cfg.Governor != GovOracle || cfg.Net != NetLTE || cfg.ABR != ABRBBA ||
+		cfg.Duration != 30*Second || cfg.Seed != 7 {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+	// No options → exactly the default session.
+	if !reflect.DeepEqual(NewSession(), DefaultSession()) {
+		t.Fatal("NewSession() should equal DefaultSession()")
+	}
+}
+
+func TestFacadeInvalidConfig(t *testing.T) {
+	cfg := NewSession(WithGovernor("warpdrive"))
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrInvalidConfig) {
+		t.Fatalf("want ErrInvalidConfig, got %v", err)
+	}
+	if !errors.Is(err, ErrUnknownGovernor) {
+		t.Fatalf("want ErrUnknownGovernor through the wrap, got %v", err)
 	}
 }
 
