@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test golden trace-golden bench
+.PHONY: check vet build test alloc-budget golden trace-golden bench bench-compare bench-baseline profile
 
 # The full gate: vet, build, race-enabled tests (includes the golden
-# regression suite and the parallel/serial equivalence test).
-check: vet build test
+# regression suite and the parallel/serial equivalence test), and the
+# zero-allocation budget for the steady-state run loop.
+check: vet build test alloc-budget
 
 vet:
 	$(GO) vet ./...
@@ -14,6 +15,12 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# The hot-path memory discipline gate (DESIGN.md §8): advancing the
+# untraced simulation in steady state must allocate nothing.
+alloc-budget:
+	$(GO) test ./internal/experiments -run TestRunLoopAllocBudget -count 1
+	$(GO) test ./internal/sim -run TestEngineScheduleFireAllocFree -count 1
 
 # Regenerate the pinned experiment outputs after an intended model
 # change, then review the diff like any other code change.
@@ -29,3 +36,26 @@ trace-golden:
 # parallel.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchtime 3x .
+
+# Re-pin the hot-path baseline (bench/baseline.txt). Run on the seed (or
+# after an intended perf change), then commit the new numbers.
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'BenchmarkRunNoTrace' -benchmem -count 5 . | tee bench/baseline.txt
+
+# Compare the current hot path against the pinned baseline. Uses
+# benchstat when installed; otherwise prints both runs side by side.
+bench-compare:
+	@$(GO) test -run '^$$' -bench 'BenchmarkRunNoTrace' -benchmem -count 5 . > bench/current.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench/baseline.txt bench/current.txt; \
+	else \
+		echo "== baseline (bench/baseline.txt) =="; grep Benchmark bench/baseline.txt; \
+		echo "== current (bench/current.txt) =="; grep Benchmark bench/current.txt; \
+	fi
+
+# Profile the full 28-experiment campaign; inspect with
+#   go tool pprof prof/exprun.cpu  (or .mem)
+profile:
+	@mkdir -p prof
+	$(GO) run ./cmd/exprun -cpuprofile prof/exprun.cpu -memprofile prof/exprun.mem > prof/exprun.out
+	@echo "profiles in prof/: inspect with 'go tool pprof prof/exprun.cpu'"

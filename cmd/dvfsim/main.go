@@ -25,6 +25,7 @@ import (
 
 	"videodvfs"
 	"videodvfs/internal/netsim"
+	"videodvfs/internal/profiling"
 	"videodvfs/internal/stats"
 	"videodvfs/internal/video"
 )
@@ -57,13 +58,19 @@ func run(args []string) error {
 		timelinePath = fs.String("timeline", "", "write a 100 ms time-series CSV (t_s, freq_ghz, cpu_w, buffer_s) for plotting")
 		batch        = fs.Int("batch", 0, "run N sessions with seeds seed..seed+N-1 and report aggregate stats")
 		parallel     = fs.Int("parallel", runtime.NumCPU(), "worker count for -batch")
+		cpuProf      = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf      = fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	cfg := videodvfs.DefaultSession()
-	var err error
 	if cfg.Governor, err = videodvfs.ParseGovernor(*governorName); err != nil {
 		return err
 	}

@@ -26,6 +26,7 @@ import (
 	"videodvfs"
 	"videodvfs/internal/campaign"
 	"videodvfs/internal/experiments"
+	"videodvfs/internal/profiling"
 	"videodvfs/internal/trace"
 )
 
@@ -45,10 +46,17 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "experiments built concurrently (each batches its own runs internally)")
 		progress = fs.Bool("progress", false, "print campaign progress to stderr")
 		traceDir = fs.String("trace-dir", "", "write one JSONL event trace per simulation run into this directory")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile (after the campaign) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			return err

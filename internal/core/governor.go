@@ -229,10 +229,16 @@ func (g *Governor) minOPP() int {
 	return m
 }
 
-// StreamInfo implements player.SessionHooks: learn the frame period.
-func (g *Governor) StreamInfo(fps float64, _ int) {
+// StreamInfo implements player.SessionHooks: learn the frame period and
+// pre-size the per-frame error log so the decode loop never regrows it.
+func (g *Governor) StreamInfo(fps float64, totalFrames int) {
 	if fps > 0 {
 		g.period = sim.Time(1 / fps)
+	}
+	if totalFrames > cap(g.predStats.RelErr) {
+		relErr := make([]float64, len(g.predStats.RelErr), totalFrames)
+		copy(relErr, g.predStats.RelErr)
+		g.predStats.RelErr = relErr
 	}
 }
 

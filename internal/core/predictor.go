@@ -58,6 +58,12 @@ type Predictor interface {
 }
 
 // ewmaStat tracks an EWMA mean and an EWMA absolute deviation.
+//
+// Warm-up contract: the first observation seeds the mean with dev2 = 0, so
+// the SECOND frame of a type is predicted from a bare single-sample mean —
+// predict returns ok with zero deviation margin regardless of k. Callers
+// that need a conservative cold-start must layer their own floor on top
+// (the governor does, via its fallback demand).
 type ewmaStat struct {
 	alpha float64
 	mean  float64
@@ -84,28 +90,28 @@ func (s *ewmaStat) predict(k float64) (float64, bool) {
 	return s.mean + k*math.Sqrt(s.dev2), true
 }
 
-// typedPredictor is the per-frame-type EWMA predictor.
+// typedPredictor is the per-frame-type EWMA predictor. Per-type state
+// lives in a fixed array indexed by video.FrameType (I/P/B are small
+// consecutive constants), so the per-frame Predict/Observe path does no
+// map hashing and no allocation.
 type typedPredictor struct {
 	k     float64
-	stats map[video.FrameType]*ewmaStat
+	stats [video.FrameB + 1]ewmaStat
 	alpha float64
 }
 
 func (p *typedPredictor) Predict(t video.FrameType) (float64, bool) {
-	st, ok := p.stats[t]
-	if !ok {
+	if int(t) >= len(p.stats) {
 		return 0, false
 	}
-	return st.predict(p.k)
+	return p.stats[t].predict(p.k)
 }
 
 func (p *typedPredictor) Observe(t video.FrameType, cycles float64) {
-	st, ok := p.stats[t]
-	if !ok {
-		st = &ewmaStat{alpha: p.alpha}
-		p.stats[t] = st
+	if int(t) >= len(p.stats) {
+		return
 	}
-	st.observe(cycles)
+	p.stats[t].observe(cycles)
 }
 
 // globalPredictor ignores frame type.
@@ -130,14 +136,22 @@ func NewPredictor(kind PredictorKind, alpha, k float64) (Predictor, error) {
 	}
 	switch kind {
 	case PredictPerTypeSigma:
-		return &typedPredictor{k: k, alpha: alpha, stats: make(map[video.FrameType]*ewmaStat)}, nil
+		return newTypedPredictor(k, alpha), nil
 	case PredictPerTypeMean:
-		return &typedPredictor{k: 0, alpha: alpha, stats: make(map[video.FrameType]*ewmaStat)}, nil
+		return newTypedPredictor(0, alpha), nil
 	case PredictGlobal:
 		return &globalPredictor{k: k, st: ewmaStat{alpha: alpha}}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown predictor kind %d", kind)
 	}
+}
+
+func newTypedPredictor(k, alpha float64) *typedPredictor {
+	p := &typedPredictor{k: k, alpha: alpha}
+	for i := range p.stats {
+		p.stats[i].alpha = alpha
+	}
+	return p
 }
 
 // PredictorKinds returns all kinds in report order.

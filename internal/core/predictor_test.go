@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"videodvfs/internal/video"
+)
+
+// TestEwmaStatWarmupContract pins the cold-start semantics the governor
+// depends on: after ONE observation the stat already answers predictions,
+// but with dev2 = 0 — a bare single-sample mean whose kσ margin is zero
+// regardless of k. The second frame of a type is therefore predicted with
+// false confidence; callers needing a conservative cold start must layer
+// their own floor (the governor's fallback demand does).
+func TestEwmaStatWarmupContract(t *testing.T) {
+	s := ewmaStat{alpha: 0.2}
+	if _, ok := s.predict(3); ok {
+		t.Fatal("unobserved stat should not predict")
+	}
+	s.observe(1e7)
+	got, ok := s.predict(3)
+	if !ok {
+		t.Fatal("stat with one sample must predict (the documented contract)")
+	}
+	if got != 1e7 {
+		t.Fatalf("single-sample predict(k=3) = %v, want bare mean 1e7 (dev2 must be 0)", got)
+	}
+	if s.dev2 != 0 {
+		t.Fatalf("dev2 after first observation = %v, want 0", s.dev2)
+	}
+	// From the second observation on, the deviation term engages and k
+	// starts buying real margin.
+	s.observe(2e7)
+	mean, _ := s.predict(0)
+	withMargin, _ := s.predict(3)
+	if withMargin <= mean {
+		t.Fatalf("predict(3)=%v not above predict(0)=%v after two distinct samples", withMargin, mean)
+	}
+}
+
+// TestEwmaStatPredictMonotoneInK: for any observation history, predict is
+// nondecreasing in the safety factor k ≥ 0 (the margin term k·σ can only
+// grow). The governor's safety-factor sweep relies on this monotonicity.
+func TestEwmaStatPredictMonotoneInK(t *testing.T) {
+	f := func(raw []uint32, k1Raw, k2Raw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := ewmaStat{alpha: 0.3}
+		for _, r := range raw {
+			s.observe(float64(r))
+		}
+		k1 := float64(k1Raw) / 16
+		k2 := float64(k2Raw) / 16
+		if k1 > k2 {
+			k1, k2 = k2, k1
+		}
+		p1, ok1 := s.predict(k1)
+		p2, ok2 := s.predict(k2)
+		return ok1 && ok2 && p1 <= p2 && !math.IsNaN(p1) && !math.IsNaN(p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedPredictorPerTypeIsolation: observations of one frame type must
+// not leak into another type's prediction (the array-indexed predictor
+// keeps fully independent per-type state).
+func TestTypedPredictorPerTypeIsolation(t *testing.T) {
+	p, err := NewPredictor(PredictPerTypeSigma, 0.2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Observe(video.FrameI, 5e7)
+	if _, ok := p.Predict(video.FrameP); ok {
+		t.Fatal("P-frame prediction available after observing only I frames")
+	}
+	got, ok := p.Predict(video.FrameI)
+	if !ok || got != 5e7 {
+		t.Fatalf("I-frame predict = %v/%v, want 5e7/true", got, ok)
+	}
+}

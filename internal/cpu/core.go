@@ -34,7 +34,65 @@ type Job struct {
 	OnStart func(now sim.Time)
 	// OnDone, if set, runs when the job completes.
 	OnDone func(now sim.Time)
+
+	// pool, when non-nil, receives the job back after completion (see
+	// JobPool). Steady-state submitters recycle jobs instead of
+	// allocating one per submission.
+	pool *JobPool
 }
+
+// JobPool recycles Job structs so steady-state submitters allocate
+// nothing: Get a job, fill its fields, Submit it, and the core returns it
+// to the pool after OnDone runs. The simulation is single-threaded, so the
+// pool needs no locking. Jobs taken from a pool must not be retained after
+// their OnDone callback returns.
+type JobPool struct {
+	free []*Job
+}
+
+// Get returns a job with zeroed fields, reusing a recycled one if
+// available.
+func (p *JobPool) Get() *Job {
+	if n := len(p.free); n > 0 {
+		j := p.free[n-1]
+		p.free = p.free[:n-1]
+		return j
+	}
+	return &Job{pool: p}
+}
+
+// put clears the job's fields and returns it to the free list.
+func (p *JobPool) put(j *Job) {
+	j.Cycles = 0
+	j.Priority = 0
+	j.Tag = ""
+	j.OnStart = nil
+	j.OnDone = nil
+	p.free = append(p.free, j)
+}
+
+// jobQueue is a FIFO with a read cursor: Pop advances head instead of
+// re-slicing, so the backing array is reused once drained and steady-state
+// queueing allocates nothing.
+type jobQueue struct {
+	buf  []*Job
+	head int
+}
+
+func (q *jobQueue) push(j *Job) { q.buf = append(q.buf, j) }
+
+func (q *jobQueue) pop() *Job {
+	j := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return j
+}
+
+func (q *jobQueue) len() int { return len(q.buf) - q.head }
 
 type runningJob struct {
 	job       *Job
@@ -51,9 +109,13 @@ type Core struct {
 
 	oppIdx  int
 	capIdx  int // highest OPP currently allowed (thermal throttling)
-	queues  [PrioBackground + 1][]*Job
-	current *runningJob
-	doneEv  *sim.Event
+	queues  [PrioBackground + 1]jobQueue
+	current runningJob
+	running bool
+	doneEv  sim.Event
+	// completeFn is the pre-bound completion callback; binding it once
+	// keeps rearmCompletion allocation-free.
+	completeFn func()
 	// stallUntil is the end of an in-flight DVFS transition stall.
 	stallUntil sim.Time
 
@@ -62,11 +124,13 @@ type Core struct {
 	busy        bool
 	cyclesByTag map[string]float64
 
-	onPower     func(now sim.Time, watts float64)
-	onOPP       func(now sim.Time, idx int)
-	onBusy      func(now sim.Time, busy bool)
-	tracer      trace.Tracer
-	freqDwell   map[int]sim.Time
+	onPower func(now sim.Time, watts float64)
+	onOPP   func(now sim.Time, idx int)
+	onBusy  func(now sim.Time, busy bool)
+	tracer  trace.Tracer
+	// freqDwell is indexed by OPP (hot path); FreqResidency converts to a
+	// map at the reporting boundary.
+	freqDwell   []sim.Time
 	lastDwell   sim.Time
 	transitions int
 
@@ -74,7 +138,9 @@ type Core struct {
 	idle         *idleGovernor
 	idleStateIdx int
 	idleSince    sim.Time
-	idleDwell    map[string]sim.Time
+	// idleDwell is indexed by C-state (hot path); IdleStateResidency
+	// converts to a map at the reporting boundary.
+	idleDwell []sim.Time
 }
 
 // NewCore returns a core for the given model, parked at the lowest OPP.
@@ -87,8 +153,9 @@ func NewCore(eng *sim.Engine, model Model) (*Core, error) {
 		model:       model,
 		capIdx:      model.MaxIdx(),
 		cyclesByTag: make(map[string]float64),
-		freqDwell:   make(map[int]sim.Time),
+		freqDwell:   make([]sim.Time, len(model.OPPs)),
 	}
+	c.completeFn = c.complete
 	return c, nil
 }
 
@@ -107,8 +174,8 @@ func (c *Core) Busy() bool { return c.busy }
 // QueueLen returns the number of queued (not running) jobs.
 func (c *Core) QueueLen() int {
 	n := 0
-	for _, q := range c.queues {
-		n += len(q)
+	for p := range c.queues {
+		n += c.queues[p].len()
 	}
 	return n
 }
@@ -173,8 +240,10 @@ func (c *Core) Transitions() int { return c.transitions }
 // FreqResidency returns seconds spent at each OPP index so far.
 func (c *Core) FreqResidency() map[int]sim.Time {
 	out := make(map[int]sim.Time, len(c.freqDwell))
-	for k, v := range c.freqDwell {
-		out[k] = v
+	for idx, d := range c.freqDwell {
+		if d > 0 {
+			out[idx] = d
+		}
 	}
 	out[c.oppIdx] += c.eng.Now() - c.lastDwell
 	return out
@@ -197,9 +266,12 @@ func (c *Core) Submit(j *Job) error {
 		if j.OnDone != nil {
 			j.OnDone(now)
 		}
+		if j.pool != nil {
+			j.pool.put(j)
+		}
 		return nil
 	}
-	c.queues[j.Priority] = append(c.queues[j.Priority], j)
+	c.queues[j.Priority].push(j)
 	if !c.busy {
 		c.dispatch()
 	}
@@ -244,7 +316,7 @@ func (c *Core) SetOPP(idx int) {
 	c.freqDwell[c.oppIdx] += now - c.lastDwell
 	c.lastDwell = now
 	c.transitions++
-	if c.current != nil {
+	if c.running {
 		// Charge cycles retired so far at the old frequency, then
 		// restart the remainder at the new one after the stall.
 		elapsed := now - c.current.resumedAt
@@ -272,19 +344,16 @@ func (c *Core) SetOPP(idx int) {
 func (c *Core) SetFreq(hz float64) { c.SetOPP(c.model.IdxForFreq(hz)) }
 
 func (c *Core) rearmCompletion() {
-	if c.doneEv != nil {
-		c.eng.Cancel(c.doneEv)
-	}
+	c.eng.Cancel(c.doneEv)
 	finish := c.current.resumedAt + sim.Time(c.current.remaining/c.FreqHz())
-	c.doneEv = c.eng.At(finish, c.complete)
+	c.doneEv = c.eng.At(finish, c.completeFn)
 }
 
 func (c *Core) dispatch() {
 	var next *Job
 	for p := range c.queues {
-		if len(c.queues[p]) > 0 {
-			next = c.queues[p][0]
-			c.queues[p] = c.queues[p][1:]
+		if c.queues[p].len() > 0 {
+			next = c.queues[p].pop()
 			break
 		}
 	}
@@ -320,10 +389,7 @@ func (c *Core) dispatch() {
 			st := c.idle.states[c.idleStateIdx]
 			idleDur := now - c.idleSince
 			c.idle.observe(idleDur)
-			if c.idleDwell == nil {
-				c.idleDwell = make(map[string]sim.Time)
-			}
-			c.idleDwell[st.Name] += idleDur
+			c.idleDwell[c.idleStateIdx] += idleDur
 			if wake := now + st.ExitLatency; wake > c.stallUntil {
 				c.stallUntil = wake
 			}
@@ -342,7 +408,8 @@ func (c *Core) dispatch() {
 	if c.stallUntil > start {
 		start = c.stallUntil
 	}
-	c.current = &runningJob{job: next, remaining: next.Cycles, resumedAt: start}
+	c.current = runningJob{job: next, remaining: next.Cycles, resumedAt: start}
+	c.running = true
 	if next.OnStart != nil {
 		next.OnStart(now)
 	}
@@ -352,10 +419,14 @@ func (c *Core) dispatch() {
 func (c *Core) complete() {
 	job := c.current.job
 	c.cyclesByTag[job.Tag] += job.Cycles
-	c.current = nil
-	c.doneEv = nil
+	c.current = runningJob{}
+	c.running = false
+	c.doneEv = sim.Event{}
 	if job.OnDone != nil {
 		job.OnDone(c.eng.Now())
+	}
+	if job.pool != nil {
+		job.pool.put(job)
 	}
 	c.dispatch()
 }

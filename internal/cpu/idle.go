@@ -103,6 +103,7 @@ func (c *Core) EnableCStates(states []CState) error {
 	}
 	c.idle = &idleGovernor{states: states}
 	c.idleStateIdx = 0
+	c.idleDwell = make([]sim.Time, len(states))
 	c.emitPower()
 	return nil
 }
@@ -123,8 +124,10 @@ func (c *Core) IdleStateResidency() map[string]sim.Time {
 		return nil
 	}
 	out := make(map[string]sim.Time, len(c.idleDwell))
-	for k, v := range c.idleDwell {
-		out[k] = v
+	for i, v := range c.idleDwell {
+		if v > 0 {
+			out[c.idle.states[i].Name] = v
+		}
 	}
 	if !c.busy {
 		out[c.idle.states[c.idleStateIdx].Name] += c.eng.Now() - c.idleSince

@@ -21,6 +21,10 @@ type LoadGen struct {
 	tag    string
 	stop   bool
 	subErr error
+	// fire is the pre-bound tick callback and pool recycles submitted
+	// jobs, so a running generator allocates nothing per job.
+	fire func()
+	pool JobPool
 }
 
 // LoadGenConfig configures a background load generator.
@@ -81,22 +85,29 @@ func StartLoadGen(eng *sim.Engine, core *Core, rng *sim.RNG, cfg LoadGenConfig) 
 		prio:   cfg.Priority,
 		tag:    cfg.Tag,
 	}
+	g.fire = g.tick
 	g.arm()
 	return g, nil
 }
 
 func (g *LoadGen) arm() {
 	jitter := sim.Time(g.rng.Uniform(0.8, 1.2))
-	g.eng.Schedule(g.period*jitter, func() {
-		if g.stop {
-			return
-		}
-		cycles := g.rng.LognormalMeanCV(g.meanCy, g.cv)
-		if err := g.core.Submit(&Job{Cycles: cycles, Priority: g.prio, Tag: g.tag}); err != nil && g.subErr == nil {
-			g.subErr = err
-		}
-		g.arm()
-	})
+	g.eng.Schedule(g.period*jitter, g.fire)
+}
+
+func (g *LoadGen) tick() {
+	if g.stop {
+		return
+	}
+	cycles := g.rng.LognormalMeanCV(g.meanCy, g.cv)
+	j := g.pool.Get()
+	j.Cycles = cycles
+	j.Priority = g.prio
+	j.Tag = g.tag
+	if err := g.core.Submit(j); err != nil && g.subErr == nil {
+		g.subErr = err
+	}
+	g.arm()
 }
 
 // Stop halts job submission.

@@ -63,6 +63,33 @@ type Counts struct {
 	Skipped int
 }
 
+// frameQueue is a FIFO of frames with a head cursor, so steady-state
+// push/pop reuses one backing array instead of re-slicing capacity away.
+type frameQueue struct {
+	buf  []video.Frame
+	head int
+}
+
+func (q *frameQueue) push(f video.Frame) { q.buf = append(q.buf, f) }
+func (q *frameQueue) len() int           { return len(q.buf) - q.head }
+func (q *frameQueue) front() video.Frame { return q.buf[q.head] }
+
+func (q *frameQueue) pop() video.Frame {
+	f := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	} else if q.head >= 64 && q.head > len(q.buf)/2 {
+		// Compact: slide the live window to the front so append reuses
+		// the vacated capacity instead of growing the array forever.
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return f
+}
+
 // Decoder is the decode-ahead worker. It is driven entirely by the event
 // loop: Push feeds it, the display pops from it.
 type Decoder struct {
@@ -70,9 +97,16 @@ type Decoder struct {
 	core Submitter
 	cap  int
 
-	pending  []video.Frame
-	ready    []video.Frame
+	pending  frameQueue
+	ready    frameQueue
 	inFlight bool
+
+	// In-flight frame state: at most one decode job runs at a time, so
+	// fields plus the pre-bound doneFn replace a per-frame closure.
+	curFrame    video.Frame
+	curDeadline sim.Time
+	doneFn      func(now sim.Time)
+	pool        cpu.JobPool
 
 	discardBelow int
 	deadlineOf   func(f video.Frame) sim.Time
@@ -97,7 +131,10 @@ func New(eng *sim.Engine, core Submitter, queueCap int, deadlineOf func(f video.
 	if hooks == nil {
 		hooks = NopHooks{}
 	}
-	return &Decoder{eng: eng, core: core, cap: queueCap, deadlineOf: deadlineOf, hooks: hooks}, nil
+	d := &Decoder{eng: eng, core: core, cap: queueCap, deadlineOf: deadlineOf, hooks: hooks}
+	d.ready.buf = make([]video.Frame, 0, queueCap+1)
+	d.doneFn = d.jobDone
+	return d, nil
 }
 
 // OnReady registers a callback invoked when a frame lands in the decoded
@@ -106,15 +143,15 @@ func (d *Decoder) OnReady(fn func(f video.Frame)) { d.onReady = fn }
 
 // Push appends a coded frame to the decode input in presentation order.
 func (d *Decoder) Push(f video.Frame) {
-	d.pending = append(d.pending, f)
+	d.pending.push(f)
 	d.maybeStart()
 }
 
 // ReadyLen returns the decoded-queue depth.
-func (d *Decoder) ReadyLen() int { return len(d.ready) }
+func (d *Decoder) ReadyLen() int { return d.ready.len() }
 
 // PendingLen returns the coded input backlog.
-func (d *Decoder) PendingLen() int { return len(d.pending) }
+func (d *Decoder) PendingLen() int { return d.pending.len() }
 
 // InFlight reports whether a decode job is executing.
 func (d *Decoder) InFlight() bool { return d.inFlight }
@@ -130,7 +167,7 @@ func (d *Decoder) Err() error { return d.subErr }
 
 // Ready reports whether frame idx is at the head of the decoded queue.
 func (d *Decoder) Ready(idx int) bool {
-	return len(d.ready) > 0 && d.ready[0].Index == idx
+	return d.ready.len() > 0 && d.ready.front().Index == idx
 }
 
 // Pop removes and returns frame idx if it heads the decoded queue.
@@ -138,8 +175,7 @@ func (d *Decoder) Pop(idx int) (video.Frame, bool) {
 	if !d.Ready(idx) {
 		return video.Frame{}, false
 	}
-	f := d.ready[0]
-	d.ready = d.ready[1:]
+	f := d.ready.pop()
 	d.maybeStart()
 	return f, true
 }
@@ -153,15 +189,18 @@ func (d *Decoder) DiscardBelow(idx int) {
 		return
 	}
 	d.discardBelow = idx
-	kept := d.ready[:0]
-	for _, f := range d.ready {
+	w := 0
+	for i := d.ready.head; i < len(d.ready.buf); i++ {
+		f := d.ready.buf[i]
 		if f.Index >= idx {
-			kept = append(kept, f)
+			d.ready.buf[w] = f
+			w++
 		} else {
 			d.counts.Discarded++
 		}
 	}
-	d.ready = kept
+	d.ready.buf = d.ready.buf[:w]
+	d.ready.head = 0
 	d.maybeStart()
 }
 
@@ -170,42 +209,46 @@ func (d *Decoder) maybeStart() {
 		return
 	}
 	// Skip input frames whose slot already passed.
-	for len(d.pending) > 0 && d.pending[0].Index < d.discardBelow {
-		d.pending = d.pending[1:]
+	for d.pending.len() > 0 && d.pending.front().Index < d.discardBelow {
+		d.pending.pop()
 		d.counts.Skipped++
 	}
-	if len(d.pending) == 0 || len(d.ready) >= d.cap {
+	if d.pending.len() == 0 || d.ready.len() >= d.cap {
 		d.hooks.DecoderIdle(d.eng.Now())
 		return
 	}
-	f := d.pending[0]
-	d.pending = d.pending[1:]
+	f := d.pending.pop()
 	d.inFlight = true
-	deadline := d.deadlineOf(f)
-	d.hooks.DecodeStart(d.eng.Now(), f, deadline, len(d.ready), d.cap)
-	err := d.core.Submit(&cpu.Job{
-		Cycles:   f.Cycles,
-		Priority: cpu.PrioDecode,
-		Tag:      "decode",
-		OnDone: func(now sim.Time) {
-			d.inFlight = false
-			d.counts.Decoded++
-			d.hooks.DecodeEnd(now, f, deadline, f.Cycles)
-			if f.Index < d.discardBelow {
-				d.counts.Discarded++
-			} else {
-				d.ready = append(d.ready, f)
-				if d.onReady != nil {
-					d.onReady(f)
-				}
-			}
-			d.maybeStart()
-		},
-	})
-	if err != nil {
+	d.curFrame = f
+	d.curDeadline = d.deadlineOf(f)
+	d.hooks.DecodeStart(d.eng.Now(), f, d.curDeadline, d.ready.len(), d.cap)
+	j := d.pool.Get()
+	j.Cycles = f.Cycles
+	j.Priority = cpu.PrioDecode
+	j.Tag = "decode"
+	j.OnDone = d.doneFn
+	if err := d.core.Submit(j); err != nil {
 		d.inFlight = false
 		if d.subErr == nil {
 			d.subErr = err
 		}
 	}
+}
+
+// jobDone is the CPU completion callback for the single in-flight decode
+// job issued by maybeStart.
+func (d *Decoder) jobDone(now sim.Time) {
+	f := d.curFrame
+	d.inFlight = false
+	d.counts.Decoded++
+	d.hooks.DecodeEnd(now, f, d.curDeadline, f.Cycles)
+	if f.Index < d.discardBelow {
+		d.counts.Discarded++
+	} else {
+		d.ready.push(f)
+		if d.onReady != nil {
+			d.onReady(f)
+		}
+	}
+	d.maybeStart()
 }

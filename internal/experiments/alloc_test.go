@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/energy"
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/player"
+	"videodvfs/internal/sim"
+)
+
+// allocBudgetRig wires the same simulation Run assembles (untraced) but
+// keeps the engine in hand so the test can advance virtual time in chunks
+// and measure the allocation rate of the steady-state run loop.
+type allocBudgetRig struct {
+	eng  *sim.Engine
+	sess *player.Session
+}
+
+func buildAllocBudgetRig(t *testing.T, cfg RunConfig) *allocBudgetRig {
+	t.Helper()
+	eng := sim.NewEngine()
+	meter := energy.NewMeter(eng)
+	coreCPU, err := cpu.NewCore(eng, cfg.Device)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreCPU.OnPower(meter.Listener(energy.ComponentCPU))
+	gov, hooks, _, err := buildGovernor(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gov.Attach(eng, coreCPU); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(gov.Detach)
+	bw, rrcCfg, err := buildBandwidth(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio, err := netsim.NewRadio(eng, rrcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radio.OnPower(meter.Listener(energy.ComponentRadio))
+	dl, err := netsim.NewDownloader(eng, bw, radio, coreCPU, netsim.DefaultDownloaderConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renditions, algo, err := buildRenditions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := player.DefaultConfig()
+	pcfg.ABR = algo
+	pcfg.Hooks = hooks
+	pcfg.Meter = meter
+	sess, err := player.NewSession(eng, coreCPU, dl, renditions, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Start()
+	return &allocBudgetRig{eng: eng, sess: sess}
+}
+
+// TestRunLoopAllocBudget is the tentpole's hard budget: once the session
+// reaches steady state, advancing the untraced simulation allocates
+// NOTHING — events, timers, CPU jobs, fetch state, and per-frame governor
+// bookkeeping all recycle. The budget is exactly zero; any regression that
+// reintroduces a per-event or per-frame allocation fails here.
+//
+// The rig runs the performance governor so every queue drains (under the
+// energy-aware policy the core intentionally has no slack, so starved
+// low-priority jobs accumulate as live state, which is workload growth,
+// not garbage).
+func TestRunLoopAllocBudget(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Governor = GovPerformance
+	cfg.Background = false
+	cfg.Duration = 120 * sim.Second
+
+	rig := buildAllocBudgetRig(t, cfg)
+
+	// Warm up: startup buffering, pool population, slice growth.
+	horizon := 10 * sim.Second
+	rig.eng.RunUntil(horizon)
+
+	avg := testing.AllocsPerRun(10, func() {
+		horizon += sim.Second
+		rig.eng.RunUntil(horizon)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state run loop allocates: %v allocs per simulated second (want 0)", avg)
+	}
+	if rig.sess.Err() != nil {
+		t.Fatalf("session error: %v", rig.sess.Err())
+	}
+	if rig.sess.Metrics().DisplayedFrames == 0 {
+		t.Fatal("rig never displayed a frame; budget measured an idle loop")
+	}
+}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"videodvfs/internal/abr"
 	"videodvfs/internal/core"
@@ -253,6 +254,25 @@ func buildBandwidth(cfg RunConfig) (netsim.Bandwidth, netsim.RRCConfig, error) {
 	return bw, rrc, nil
 }
 
+// streamKey identifies one deterministic rendition-set request. Generation
+// is a pure function of these fields, so identical requests can share the
+// generated (read-only) streams.
+type streamKey struct {
+	title  video.Title
+	rung   video.Resolution
+	codec  string
+	ladder bool
+	fps    float64
+	dur    sim.Time
+	seed   int64
+}
+
+// streamCache memoizes generated rendition sets across runs. Streams are
+// immutable after Generate (sessions segmentize and copy frames by value),
+// so sharing them between concurrent campaign runs is safe and changes no
+// output — it only removes the dominant setup cost of repeated runs.
+var streamCache sync.Map // streamKey -> []*video.Stream
+
 func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 	fps := cfg.FPS
 	if fps == 0 {
@@ -272,24 +292,42 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 			return nil, nil, err
 		}
 	}
+	key := streamKey{
+		title: cfg.Title,
+		codec: cfg.Codec,
+		fps:   fps,
+		dur:   cfg.Duration,
+		seed:  cfg.Seed,
+	}
 	switch cfg.ABR {
 	case "", ABRFixed:
+		key.rung = cfg.Rung
+		if cached, ok := streamCache.Load(key); ok {
+			return cached.([]*video.Stream), abr.Fixed{Rung: 0}, nil
+		}
 		spec := video.DefaultSpec(cfg.Title, cfg.Rung).WithCodec(codec)
 		spec.FPS = fps
 		s, err := video.Generate(spec, cfg.Duration, cfg.Seed)
 		if err != nil {
 			return nil, nil, err
 		}
-		return []*video.Stream{s}, abr.Fixed{Rung: 0}, nil
+		streams := []*video.Stream{s}
+		streamCache.Store(key, streams)
+		return streams, abr.Fixed{Rung: 0}, nil
 	default:
 		algo, err := abr.New(string(cfg.ABR))
 		if err != nil {
 			return nil, nil, err
 		}
+		key.ladder = true
+		if cached, ok := streamCache.Load(key); ok {
+			return cached.([]*video.Stream), algo, nil
+		}
 		streams, err := video.GenerateLadder(cfg.Title, fps, video.DefaultLadder(), cfg.Duration, cfg.Seed)
 		if err != nil {
 			return nil, nil, err
 		}
+		streamCache.Store(key, streams)
 		return streams, algo, nil
 	}
 }

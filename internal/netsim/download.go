@@ -55,9 +55,24 @@ type Downloader struct {
 
 	busy    bool
 	queue   []fetchReq
+	qhead   int
 	bitsRx  float64
 	fetches int
 	subErr  error
+
+	// Current fetch state. Fetches are serialized, so fields plus the
+	// pre-bound callbacks below replace per-fetch closures on the hot path.
+	curBits  float64 // payload bits still to stream
+	curDone  func(now sim.Time)
+	spanBits float64 // bits carried by the chunk in flight
+
+	readyFn  func() // radio reached DCH
+	rttFn    func() // request RTT elapsed
+	resumeFn func() // bandwidth outage ended
+	chunkFn  func() // mid-stream chunk completed
+	finishFn func() // final chunk completed
+
+	pool cpu.JobPool
 
 	onActive func(now sim.Time, active bool)
 }
@@ -76,7 +91,13 @@ func NewDownloader(eng *sim.Engine, bw Bandwidth, radio *Radio, core *cpu.Core, 
 	if bw == nil || radio == nil {
 		return nil, fmt.Errorf("downloader: bandwidth and radio are required")
 	}
-	return &Downloader{eng: eng, bw: bw, radio: radio, core: core, cfg: cfg}, nil
+	d := &Downloader{eng: eng, bw: bw, radio: radio, core: core, cfg: cfg}
+	d.readyFn = d.ready
+	d.rttFn = d.startStream
+	d.resumeFn = d.startStream
+	d.chunkFn = d.chunkDone
+	d.finishFn = d.finish
+	return d, nil
 }
 
 // OnActive registers a listener for download activity transitions (used by
@@ -109,7 +130,9 @@ func (d *Downloader) Fetch(bits float64, onDone func(now sim.Time)) error {
 }
 
 func (d *Downloader) next() {
-	if len(d.queue) == 0 {
+	if d.qhead == len(d.queue) {
+		d.queue = d.queue[:0]
+		d.qhead = 0
 		if d.busy {
 			d.busy = false
 			if d.onActive != nil {
@@ -119,35 +142,42 @@ func (d *Downloader) next() {
 		}
 		return
 	}
-	req := d.queue[0]
-	d.queue = d.queue[1:]
+	req := d.queue[d.qhead]
+	d.queue[d.qhead] = fetchReq{}
+	d.qhead++
+	d.curBits = req.bits
+	d.curDone = req.onDone
 	if !d.busy {
 		d.busy = true
 		if d.onActive != nil {
 			d.onActive(d.eng.Now(), true)
 		}
 	}
-	d.radio.BeginActivity(func() {
-		// Request RTT, then stream the payload.
-		d.eng.Schedule(d.cfg.RTT, func() {
-			d.radio.SetTransferring(true)
-			d.stream(req.bits, 0, req)
-		})
-	})
+	d.radio.BeginActivity(d.readyFn)
+}
+
+// ready fires once the radio reaches DCH: the request RTT elapses, then the
+// payload streams.
+func (d *Downloader) ready() {
+	d.eng.Schedule(d.cfg.RTT, d.rttFn)
+}
+
+// startStream marks data flowing and (re)enters the streaming loop. It also
+// serves as the outage-resume callback.
+func (d *Downloader) startStream() {
+	d.radio.SetTransferring(true)
+	d.stream()
 }
 
 // stream advances the download through the piecewise-constant bandwidth
 // trace, charging network CPU work per chunk.
-func (d *Downloader) stream(remaining, chunkCycles float64, req fetchReq) {
+func (d *Downloader) stream() {
 	now := d.eng.Now()
 	rate, until := d.bw.Rate(now)
 	if rate <= 0 {
 		// Outage: idle the radio Tx flag until the rate returns.
 		d.radio.SetTransferring(false)
-		d.eng.At(until, func() {
-			d.radio.SetTransferring(true)
-			d.stream(remaining, chunkCycles, req)
-		})
+		d.eng.At(until, d.resumeFn)
 		return
 	}
 	span := until - now
@@ -155,37 +185,50 @@ func (d *Downloader) stream(remaining, chunkCycles float64, req fetchReq) {
 		span = d.cfg.NetChunk
 	}
 	bitsInSpan := rate * span.Seconds()
-	if bitsInSpan >= remaining {
+	if bitsInSpan >= d.curBits {
 		// Finishes within this span.
-		dt := sim.Time(remaining / rate)
-		d.eng.Schedule(dt, func() {
-			d.bitsRx += remaining
-			d.chargeCPU(chunkCycles + remaining*d.cfg.CyclesPerBit)
-			d.fetches++
-			done := req.onDone
-			// Let the next queued fetch (if any) keep the radio active;
-			// otherwise end the burst.
-			d.radio.SetTransferring(false)
-			if done != nil {
-				done(d.eng.Now())
-			}
-			d.next()
-		})
+		dt := sim.Time(d.curBits / rate)
+		d.eng.Schedule(dt, d.finishFn)
 		return
 	}
-	d.eng.Schedule(span, func() {
-		d.bitsRx += bitsInSpan
-		d.chargeCPU(chunkCycles + bitsInSpan*d.cfg.CyclesPerBit)
-		d.stream(remaining-bitsInSpan, 0, req)
-	})
+	d.spanBits = bitsInSpan
+	d.eng.Schedule(span, d.chunkFn)
+}
+
+// chunkDone accounts a completed mid-stream chunk and keeps streaming.
+func (d *Downloader) chunkDone() {
+	d.bitsRx += d.spanBits
+	d.chargeCPU(d.spanBits * d.cfg.CyclesPerBit)
+	d.curBits -= d.spanBits
+	d.stream()
+}
+
+// finish completes the in-flight fetch and starts the next queued one.
+func (d *Downloader) finish() {
+	remaining := d.curBits
+	d.bitsRx += remaining
+	d.chargeCPU(remaining * d.cfg.CyclesPerBit)
+	d.fetches++
+	done := d.curDone
+	d.curDone = nil
+	// Let the next queued fetch (if any) keep the radio active; otherwise
+	// end the burst.
+	d.radio.SetTransferring(false)
+	if done != nil {
+		done(d.eng.Now())
+	}
+	d.next()
 }
 
 func (d *Downloader) chargeCPU(cycles float64) {
 	if d.core == nil || cycles <= 0 {
 		return
 	}
-	err := d.core.Submit(&cpu.Job{Cycles: cycles, Priority: cpu.PrioNetwork, Tag: "net"})
-	if err != nil && d.subErr == nil {
+	j := d.pool.Get()
+	j.Cycles = cycles
+	j.Priority = cpu.PrioNetwork
+	j.Tag = "net"
+	if err := d.core.Submit(j); err != nil && d.subErr == nil {
 		d.subErr = err
 	}
 }

@@ -117,14 +117,22 @@ type Radio struct {
 	transferring bool
 	promoting    bool
 	waiters      []func()
+	// waitersSpare is the second half of a double buffer: promotion
+	// completion swaps it in before draining, so waiter slices are reused
+	// instead of reallocated every promotion.
+	waitersSpare []func()
 	t1, t2       *sim.Timeout
-	promoEv      *sim.Event
+	promoEv      sim.Event
+	// promotedFn is the pre-bound promotion-complete callback.
+	promotedFn func()
 
 	onPower func(now sim.Time, watts float64)
 	onState func(now sim.Time, s RRCState)
 	tracer  trace.Tracer
 
-	dwell     map[RRCState]sim.Time
+	// dwell is indexed by RRCState (hot path); Residency converts to a
+	// map at the reporting boundary.
+	dwell     [StateDCH + 1]sim.Time
 	lastDwell sim.Time
 	promos    int
 }
@@ -134,9 +142,10 @@ func NewRadio(eng *sim.Engine, cfg RRCConfig) (*Radio, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	r := &Radio{eng: eng, cfg: cfg, state: StateIdle, dwell: make(map[RRCState]sim.Time)}
+	r := &Radio{eng: eng, cfg: cfg, state: StateIdle}
 	r.t1 = sim.NewTimeout(eng, cfg.T1, func(sim.Time) { r.demoteToFACH() })
 	r.t2 = sim.NewTimeout(eng, cfg.T2, func(sim.Time) { r.demoteToIdle() })
+	r.promotedFn = r.promoted
 	return r, nil
 }
 
@@ -178,8 +187,10 @@ func (r *Radio) Power() float64 {
 // Residency returns seconds spent in each state so far.
 func (r *Radio) Residency() map[RRCState]sim.Time {
 	out := make(map[RRCState]sim.Time, len(r.dwell))
-	for k, v := range r.dwell {
-		out[k] = v
+	for s, v := range r.dwell {
+		if v > 0 {
+			out[RRCState(s)] = v
+		}
 	}
 	out[r.state] += r.eng.Now() - r.lastDwell
 	return out
@@ -227,17 +238,27 @@ func (r *Radio) BeginActivity(ready func()) {
 			delay = r.cfg.PromoIdle
 		}
 		r.promos++
-		r.promoEv = r.eng.Schedule(delay, func() {
-			r.promoting = false
-			r.promoEv = nil
-			r.setState(StateDCH)
-			ws := r.waiters
-			r.waiters = nil
-			for _, w := range ws {
-				w()
-			}
-		})
+		r.promoEv = r.eng.Schedule(delay, r.promotedFn)
 	}
+}
+
+// promoted completes an IDLE/FACH→DCH promotion and wakes the waiters.
+func (r *Radio) promoted() {
+	r.promoting = false
+	r.promoEv = sim.Event{}
+	r.setState(StateDCH)
+	// Swap the waiter buffers so callbacks that re-enter BeginActivity
+	// append to a fresh slice while this one drains; both retain their
+	// capacity across promotions.
+	ws := r.waiters
+	r.waiters = r.waitersSpare[:0]
+	for _, w := range ws {
+		w()
+	}
+	for i := range ws {
+		ws[i] = nil
+	}
+	r.waitersSpare = ws[:0]
 }
 
 // SetTransferring marks whether user data is flowing right now (adds

@@ -337,3 +337,66 @@ func TestDownloaderRejectsBadInputs(t *testing.T) {
 		t.Fatal("want error for invalid config")
 	}
 }
+
+// TestRadioResidencyMatchesClockBothDormancyModes pins the fast-dormancy
+// DCH→IDLE release to the same accounting contract as the timer-driven
+// demotion path: both go through setState, so total residency equals the
+// engine clock exactly and every transition emits its state event before
+// its power event, in the same order.
+func TestRadioResidencyMatchesClockBothDormancyModes(t *testing.T) {
+	for _, fd := range []bool{false, true} {
+		cfg := DefaultUMTS()
+		cfg.FastDormancy = fd
+		eng, r := newRadio(t, cfg)
+
+		type evt struct {
+			kind  string // "state" or "power"
+			state RRCState
+		}
+		var log []evt
+		r.OnState(func(_ sim.Time, s RRCState) { log = append(log, evt{"state", s}) })
+		r.OnPower(func(sim.Time, float64) { log = append(log, evt{"power", r.State()}) })
+
+		// Two activity bursts separated enough that the radio settles in
+		// between (with tails or with the SCRI release).
+		r.BeginActivity(func() { r.EndActivity() })
+		eng.Schedule(40*sim.Second, func() {
+			r.BeginActivity(func() { r.EndActivity() })
+		})
+		eng.Schedule(80*sim.Second, func() { eng.Stop() })
+		eng.Run()
+
+		res := r.Residency()
+		var total sim.Time
+		for _, d := range res {
+			total += d
+		}
+		if math.Abs(float64(total-80*sim.Second)) > 1e-9 {
+			t.Fatalf("fastDormancy=%v: residency sums to %v, want 80s", fd, total)
+		}
+		if fd {
+			// SCRI release: DCH dwell is exactly the two promotion-to-release
+			// windows (activity ends immediately after ready), with no
+			// FACH time at all.
+			if res[StateFACH] != 0 {
+				t.Fatalf("fast dormancy spent %v in FACH, want 0", res[StateFACH])
+			}
+		} else if res[StateFACH] == 0 {
+			t.Fatal("timer path never dwelt in FACH")
+		}
+
+		// Shared setState contract: every state transition emits the
+		// state event first, then the power event for that same state.
+		for i, e := range log {
+			if e.kind != "state" {
+				continue
+			}
+			if i+1 >= len(log) || log[i+1].kind != "power" || log[i+1].state != e.state {
+				t.Fatalf("fastDormancy=%v: transition to %v not followed by its power event (log %v)", fd, e.state, log)
+			}
+		}
+		if len(log) == 0 {
+			t.Fatalf("fastDormancy=%v: no transitions observed", fd)
+		}
+	}
+}

@@ -49,12 +49,21 @@ type Session struct {
 	segsSum   int
 	downLoade int // contiguous frames delivered to the decoder
 
+	// In-flight fetch state. Exactly one fetch is outstanding at a time
+	// (guarded by fetching), so fields plus the pre-bound fetchDoneFn
+	// replace a per-fetch closure on the hot path.
+	fetchRung   int
+	fetchSeg    video.Segment
+	fetchStart  sim.Time
+	fetchDoneFn func(now sim.Time)
+
 	// Playback state.
 	started    bool
 	playing    bool
 	playhead   int
 	nextTickAt sim.Time
-	tickEv     *sim.Event
+	tickEv     sim.Event
+	tickFn     func() // pre-bound s.tick, scheduled once per displayed frame
 	stallStart sim.Time
 	startedAt  sim.Time
 
@@ -64,6 +73,7 @@ type Session struct {
 	err     error
 
 	audioTicker *sim.Ticker
+	audioPool   cpu.JobPool
 }
 
 // NewSession builds a session over scene-aligned renditions (one per
@@ -122,6 +132,8 @@ func NewSession(eng *sim.Engine, core decode.Submitter, fet Fetcher, renditions 
 		s.segments[i] = segs
 	}
 	s.numSegs = len(s.segments[0])
+	s.tickFn = s.tick
+	s.fetchDoneFn = s.fetchDone
 	dec, err := decode.New(eng, core, cfg.DecodedQueueCap, s.deadlineOf, hooks)
 	if err != nil {
 		return nil, err
@@ -148,8 +160,11 @@ func (s *Session) Start() {
 		const audioPeriod = 20 * sim.Millisecond
 		cycles := s.cfg.AudioCyclesPerSec * audioPeriod.Seconds()
 		s.audioTicker = sim.NewTicker(s.eng, audioPeriod, func(sim.Time) {
-			err := s.core.Submit(&cpu.Job{Cycles: cycles, Priority: cpu.PrioDecode, Tag: "audio"})
-			if err != nil && s.err == nil {
+			j := s.audioPool.Get()
+			j.Cycles = cycles
+			j.Priority = cpu.PrioDecode
+			j.Tag = "audio"
+			if err := s.core.Submit(j); err != nil && s.err == nil {
 				s.err = fmt.Errorf("player: audio decode: %w", err)
 			}
 		})
@@ -223,30 +238,37 @@ func (s *Session) maybeFetch() {
 	}
 	seg := s.segments[rung][s.nextSeg]
 	s.fetching = true
-	fetchStart := s.eng.Now()
-	err := s.fet.Fetch(seg.Bits, func(now sim.Time) {
-		s.fetching = false
-		if dt := (now - fetchStart).Seconds(); dt > 0 {
-			s.tput.Add(seg.Bits / dt)
-		}
-		s.lastRung = rung
-		s.nextSeg++
-		s.bitsSum += seg.Bits
-		s.segsSum++
-		for _, f := range seg.Frames {
-			s.dec.Push(f)
-		}
-		s.downLoade += len(seg.Frames)
-		s.hooks.BufferState(now, s.BufferSec(), s.dec.ReadyLen(), s.dec.Cap())
-		s.tryStartOrResume()
-		s.maybeFetch()
-	})
+	s.fetchRung = rung
+	s.fetchSeg = seg
+	s.fetchStart = s.eng.Now()
+	err := s.fet.Fetch(seg.Bits, s.fetchDoneFn)
 	if err != nil {
 		s.fetching = false
 		if s.err == nil {
 			s.err = fmt.Errorf("player: fetch segment %d: %w", s.nextSeg, err)
 		}
 	}
+}
+
+// fetchDone is the downloader completion callback for the single in-flight
+// segment fetch started by maybeFetch.
+func (s *Session) fetchDone(now sim.Time) {
+	seg := s.fetchSeg
+	s.fetching = false
+	if dt := (now - s.fetchStart).Seconds(); dt > 0 {
+		s.tput.Add(seg.Bits / dt)
+	}
+	s.lastRung = s.fetchRung
+	s.nextSeg++
+	s.bitsSum += seg.Bits
+	s.segsSum++
+	for _, f := range seg.Frames {
+		s.dec.Push(f)
+	}
+	s.downLoade += len(seg.Frames)
+	s.hooks.BufferState(now, s.BufferSec(), s.dec.ReadyLen(), s.dec.Cap())
+	s.tryStartOrResume()
+	s.maybeFetch()
 }
 
 // tryStartOrResume begins or resumes playback when enough content is
@@ -328,7 +350,7 @@ func (s *Session) afterAdvance() {
 		s.finish()
 		return
 	}
-	s.tickEv = s.eng.At(s.nextTickAt, s.tick)
+	s.tickEv = s.eng.At(s.nextTickAt, s.tickFn)
 }
 
 func (s *Session) finish() {
@@ -353,9 +375,7 @@ func (s *Session) finish() {
 		s.audioTicker.Stop()
 	}
 	s.hooks.PlaybackState(now, false)
-	if s.tickEv != nil {
-		s.eng.Cancel(s.tickEv)
-	}
+	s.eng.Cancel(s.tickEv)
 	for _, fn := range s.onDone {
 		fn()
 	}

@@ -7,12 +7,17 @@
 // single-threaded: all model code runs inside event callbacks, so no model
 // state needs locking.
 //
+// Event storage is pooled: scheduled callbacks live in a slab inside the
+// engine and are recycled through a free list, so the steady-state
+// schedule/fire/cancel cycle allocates nothing (see DESIGN.md §8). Handles
+// are index+generation pairs, which makes stale cancels (of an event that
+// already fired and whose slot was reused) harmless no-ops.
+//
 // All stochastic model inputs are drawn from RNG streams derived from a
 // single seed (see rng.go), which makes every simulation fully reproducible.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -45,68 +50,41 @@ func (t Time) Milliseconds() float64 { return float64(t) * 1e3 }
 // String formats the time with millisecond precision.
 func (t Time) String() string { return fmt.Sprintf("%.3fs", float64(t)) }
 
-// Event is a handle to a scheduled callback, usable for cancellation.
+// Event is a handle to a scheduled callback, usable for cancellation. The
+// zero Event is "no event": canceling it is a no-op. Handles are
+// generation-checked, so holding one past its firing (or past a Cancel) is
+// safe — a later Cancel through the stale handle does nothing even if the
+// underlying slot has been reused.
 type Event struct {
-	at       Time
-	seq      uint64
-	index    int // heap index; -1 once popped or canceled
-	fn       func()
-	canceled bool
+	idx int32
+	gen uint32
 }
 
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Valid reports whether the handle refers to some scheduled event (past or
+// present); the zero Event is invalid.
+func (e Event) Valid() bool { return e.gen != 0 }
 
-// Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.canceled }
-
-// eventHeap orders events by (at, seq) so equal-time events run FIFO.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		return
-	}
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// eventSlot is one pooled event in the engine's slab.
+type eventSlot struct {
+	at  Time
+	seq uint64
+	fn  func()
+	gen uint32
+	pos int32 // position in the heap; -1 when free
 }
 
 // Engine is a discrete-event simulator instance.
 //
 // The zero value is not usable; call NewEngine.
 type Engine struct {
-	now     Time
-	heap    eventHeap
-	seq     uint64
-	stopped bool
+	now   Time
+	slots []eventSlot
+	free  []int32
+	heap  []int32 // slot indices ordered by (at, seq)
+	seq   uint64
 	// executed counts callbacks run, for tests and runaway detection.
 	executed uint64
+	stopped  bool
 }
 
 // NewEngine returns an engine with the clock at zero and an empty heap.
@@ -120,14 +98,13 @@ func (e *Engine) Now() Time { return e.now }
 // Executed returns the number of event callbacks run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending returns the number of events currently scheduled (including
-// canceled events not yet reaped).
+// Pending returns the number of events currently scheduled.
 func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule runs fn after delay (relative to Now). A negative delay is
 // clamped to zero so causality is preserved. It returns a handle usable
 // with Cancel.
-func (e *Engine) Schedule(delay Time, fn func()) *Event {
+func (e *Engine) Schedule(delay Time, fn func()) Event {
 	if delay < 0 {
 		delay = 0
 	}
@@ -135,28 +112,60 @@ func (e *Engine) Schedule(delay Time, fn func()) *Event {
 }
 
 // At runs fn at absolute virtual time t, clamped to Now if already past.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		// Generations start at 1 so the zero Event never matches a slot.
+		e.slots = append(e.slots, eventSlot{gen: 1})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.at = t
+	s.seq = e.seq
+	s.fn = fn
 	e.seq++
-	heap.Push(&e.heap, ev)
-	return ev
+	e.heapPush(idx)
+	return Event{idx: idx, gen: s.gen}
 }
 
-// Cancel prevents a scheduled event from running. Canceling an event that
-// already ran, or canceling twice, is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.canceled || ev.index < 0 {
-		if ev != nil {
-			ev.canceled = true
-		}
+// Scheduled reports whether the event the handle refers to is still
+// pending (not yet fired and not canceled).
+func (e *Engine) Scheduled(ev Event) bool {
+	if !ev.Valid() || int(ev.idx) >= len(e.slots) {
+		return false
+	}
+	s := &e.slots[ev.idx]
+	return s.gen == ev.gen && s.pos >= 0
+}
+
+// Cancel prevents a scheduled event from running. Canceling the zero
+// Event, an event that already ran, or canceling twice, is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	if !ev.Valid() || int(ev.idx) >= len(e.slots) {
 		return
 	}
-	ev.canceled = true
-	heap.Remove(&e.heap, ev.index)
-	ev.index = -1
+	s := &e.slots[ev.idx]
+	if s.gen != ev.gen || s.pos < 0 {
+		return // already fired, canceled, or slot reused
+	}
+	e.heapRemove(int(s.pos))
+	e.release(ev.idx)
+}
+
+// release returns a slot to the free list and invalidates outstanding
+// handles by bumping the generation.
+func (e *Engine) release(idx int32) {
+	s := &e.slots[idx]
+	s.fn = nil
+	s.gen++
+	s.pos = -1
+	e.free = append(e.free, idx)
 }
 
 // Stop makes the current Run return after the in-flight callback.
@@ -172,23 +181,92 @@ func (e *Engine) Run() Time { return e.RunUntil(Forever) }
 func (e *Engine) RunUntil(horizon Time) Time {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		next := e.heap[0]
-		if next.at > horizon {
+		idx := e.heap[0]
+		s := &e.slots[idx]
+		if s.at > horizon {
 			break
 		}
-		popped, ok := heap.Pop(&e.heap).(*Event)
-		if !ok {
-			break
-		}
-		if popped.canceled {
-			continue
-		}
-		e.now = popped.at
+		fn := s.fn
+		e.now = s.at
+		e.heapRemove(0)
+		// Release before the callback so fn can recycle the slot; the
+		// generation bump keeps any retained handle from matching it.
+		e.release(idx)
 		e.executed++
-		popped.fn()
+		fn()
 	}
 	if horizon != Forever && e.now < horizon && !e.stopped {
 		e.now = horizon
 	}
 	return e.now
+}
+
+// heapLess orders slots by (at, seq) so equal-time events run FIFO.
+func (e *Engine) heapLess(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+func (e *Engine) heapPush(idx int32) {
+	e.heap = append(e.heap, idx)
+	pos := len(e.heap) - 1
+	e.slots[idx].pos = int32(pos)
+	e.heapUp(pos)
+}
+
+// heapRemove deletes the element at heap position pos.
+func (e *Engine) heapRemove(pos int) {
+	last := len(e.heap) - 1
+	if pos != last {
+		e.heapSwap(pos, last)
+	}
+	e.slots[e.heap[last]].pos = -1
+	e.heap = e.heap[:last]
+	if pos != last {
+		if !e.heapDown(pos) {
+			e.heapUp(pos)
+		}
+	}
+}
+
+func (e *Engine) heapSwap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.slots[e.heap[i]].pos = int32(i)
+	e.slots[e.heap[j]].pos = int32(j)
+}
+
+func (e *Engine) heapUp(pos int) {
+	for pos > 0 {
+		parent := (pos - 1) / 2
+		if !e.heapLess(e.heap[pos], e.heap[parent]) {
+			break
+		}
+		e.heapSwap(pos, parent)
+		pos = parent
+	}
+}
+
+// heapDown sifts the element at pos toward the leaves; it reports whether
+// the element moved.
+func (e *Engine) heapDown(pos int) bool {
+	start := pos
+	n := len(e.heap)
+	for {
+		child := 2*pos + 1
+		if child >= n {
+			break
+		}
+		if right := child + 1; right < n && e.heapLess(e.heap[right], e.heap[child]) {
+			child = right
+		}
+		if !e.heapLess(e.heap[child], e.heap[pos]) {
+			break
+		}
+		e.heapSwap(pos, child)
+		pos = child
+	}
+	return pos > start
 }

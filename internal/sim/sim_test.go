@@ -83,14 +83,69 @@ func TestEngineCancel(t *testing.T) {
 	eng := NewEngine()
 	ran := false
 	ev := eng.Schedule(Second, func() { ran = true })
+	if !eng.Scheduled(ev) {
+		t.Fatal("Scheduled() = false for a pending event")
+	}
 	eng.Cancel(ev)
 	eng.Cancel(ev) // double cancel is a no-op
 	eng.Run()
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+	if eng.Scheduled(ev) {
+		t.Fatal("Scheduled() = true after Cancel")
+	}
+}
+
+// A handle retained past its firing must never cancel the recycled slot's
+// new occupant: the generation check makes stale cancels no-ops.
+func TestEngineStaleHandleCancelIsHarmless(t *testing.T) {
+	eng := NewEngine()
+	first := eng.Schedule(Second, func() {})
+	eng.Run()
+	// The slot behind `first` is now free; the next schedule reuses it.
+	ran := false
+	second := eng.Schedule(Second, func() { ran = true })
+	if second.idx != first.idx {
+		t.Fatalf("slot not reused: first idx %d, second idx %d", first.idx, second.idx)
+	}
+	eng.Cancel(first) // stale: must not touch the new event
+	eng.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed a recycled slot's new event")
+	}
+}
+
+// The free list must keep the slab bounded: a schedule/fire cycle reuses
+// slots instead of growing the slab.
+func TestEngineSlotPoolingBoundsSlab(t *testing.T) {
+	eng := NewEngine()
+	for i := 0; i < 1000; i++ {
+		eng.Schedule(Millisecond, func() {})
+		eng.Run()
+	}
+	if n := len(eng.slots); n != 1 {
+		t.Fatalf("slab grew to %d slots for serial schedule/fire cycles, want 1", n)
+	}
+}
+
+// Steady-state schedule/fire through a warm engine must not allocate.
+func TestEngineScheduleFireAllocFree(t *testing.T) {
+	eng := NewEngine()
+	fn := func() {}
+	// Warm-up: size the slab and heap.
+	for i := 0; i < 64; i++ {
+		eng.Schedule(Time(i)*Millisecond, fn)
+	}
+	eng.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			eng.Schedule(Time(i)*Millisecond, fn)
+		}
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/fire cycle allocates %.1f objects, want 0", avg)
 	}
 }
 
@@ -190,6 +245,71 @@ func TestTickerStopPreventsFurtherTicks(t *testing.T) {
 	eng.Run()
 	if count != 3 {
 		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+// Regression: a tick callback that stops its ticker and immediately arms a
+// replacement must see the replacement fire exactly once per period. The
+// pooled-event engine reuses the delivered event's slot for the new
+// ticker's first tick, so a Stop that canceled the already-delivered event
+// would silently kill (or, pre-generation-checking, double-fire) the
+// replacement.
+func TestTickerStopWithinCallbackThenRearmFiresExactlyOnce(t *testing.T) {
+	eng := NewEngine()
+	var fires []Time
+	var old *Ticker
+	old = NewTicker(eng, Second, func(now Time) {
+		old.Stop()
+		NewTicker(eng, Second, func(now Time) {
+			fires = append(fires, now)
+			eng.Stop()
+		})
+	})
+	eng.Run()
+	if len(fires) != 1 || fires[0] != 2*Second {
+		t.Fatalf("replacement ticks = %v, want exactly [2s]", fires)
+	}
+}
+
+// Stop called from inside the tick callback must not cancel the event that
+// delivered the very tick being processed (it already fired): scheduling
+// an unrelated event right after Stop must be unaffected.
+func TestTickerStopInsideCallbackLeavesOtherEventsAlone(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	var tk *Ticker
+	tk = NewTicker(eng, Second, func(now Time) {
+		tk.Stop()
+		// This reuses the freed slot of the tick that is executing.
+		eng.Schedule(Second, func() { ran = true })
+	})
+	eng.Run()
+	if !ran {
+		t.Fatal("event scheduled after in-callback Stop never ran")
+	}
+}
+
+// Canceling an event parked in the middle of the heap must preserve the
+// order of the remaining events.
+func TestEngineCancelMidHeapKeepsOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	evs := make([]Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = eng.Schedule(Time(10-i)*Second, func() { order = append(order, i) })
+	}
+	eng.Cancel(evs[3]) // fires at 7s, sits mid-heap
+	eng.Cancel(evs[8]) // fires at 2s
+	eng.Run()
+	want := []int{9, 7, 6, 5, 4, 2, 1, 0}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
 	}
 }
 

@@ -91,29 +91,49 @@ func Std(xs []float64) float64 {
 	return o.Std()
 }
 
+// sortedFinite copies xs without NaNs and sorts the copy. NaN samples must
+// not participate in rank selection: sort.Float64s leaves NaNs in
+// unspecified positions, so a single NaN would otherwise poison every
+// percentile of the slice, not just one rank.
+func sortedFinite(xs []float64) []float64 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	sort.Float64s(sorted)
+	return sorted
+}
+
 // Percentile returns the p-th percentile (p in [0, 100]) of xs using linear
 // interpolation between closest ranks. It copies xs and returns 0 when
-// empty.
+// empty. NaN samples are ignored; if every sample is NaN the result is NaN
+// (explicit propagation, not silent rank corruption).
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	sorted := sortedFinite(xs)
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
 	return percentileSorted(sorted, p)
 }
 
-// Percentiles returns several percentiles of xs with a single sort.
+// Percentiles returns several percentiles of xs with a single sort. NaN
+// handling matches Percentile.
 func Percentiles(xs []float64, ps ...float64) []float64 {
 	out := make([]float64, len(ps))
 	if len(xs) == 0 {
 		return out
 	}
-	sorted := make([]float64, len(xs))
-	copy(sorted, xs)
-	sort.Float64s(sorted)
+	sorted := sortedFinite(xs)
 	for i, p := range ps {
+		if len(sorted) == 0 {
+			out[i] = math.NaN()
+			continue
+		}
 		out[i] = percentileSorted(sorted, p)
 	}
 	return out
@@ -237,11 +257,16 @@ func (w *TimeWeighted) Min() float64 { return w.min }
 func (w *TimeWeighted) Max() float64 { return w.max }
 
 // Histogram counts samples in equal-width bins over [lo, hi); samples
-// outside the range land in the edge bins.
+// outside the range land in the edge bins but are also tallied as
+// under/over so range misconfiguration is visible. NaN samples are counted
+// separately and excluded from the bins entirely.
 type Histogram struct {
 	lo, hi float64
 	bins   []int
 	n      int
+	under  int
+	over   int
+	nans   int
 }
 
 // NewHistogram returns a histogram with nbins equal-width bins spanning
@@ -258,6 +283,15 @@ func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
 
 // Add folds x into the histogram.
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.nans++
+		return
+	}
+	if x < h.lo {
+		h.under++
+	} else if x >= h.hi {
+		h.over++
+	}
 	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
 	if i < 0 {
 		i = 0
@@ -269,8 +303,18 @@ func (h *Histogram) Add(x float64) {
 	h.n++
 }
 
-// N returns the number of samples added.
+// N returns the number of samples binned (NaNs excluded).
 func (h *Histogram) N() int { return h.n }
+
+// Under returns how many samples fell below lo (clamped into bin 0).
+func (h *Histogram) Under() int { return h.under }
+
+// Over returns how many samples fell at or above hi (clamped into the last
+// bin).
+func (h *Histogram) Over() int { return h.over }
+
+// NaNs returns how many NaN samples were rejected.
+func (h *Histogram) NaNs() int { return h.nans }
 
 // Counts returns a copy of the per-bin counts.
 func (h *Histogram) Counts() []int {

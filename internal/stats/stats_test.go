@@ -241,3 +241,85 @@ func TestPercentileBoundsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestPercentileIgnoresNaN(t *testing.T) {
+	finite := []float64{1, 2, 3, 4, 5}
+	withNaN := []float64{math.NaN(), 1, 2, math.NaN(), 3, 4, 5, math.NaN()}
+	for _, p := range []float64{0, 25, 50, 90, 100} {
+		want := Percentile(finite, p)
+		got := Percentile(withNaN, p)
+		if got != want {
+			t.Errorf("p%.0f: NaN-laced slice gave %v, finite subset gives %v", p, got, want)
+		}
+	}
+}
+
+func TestPercentileAllNaNPropagates(t *testing.T) {
+	xs := []float64{math.NaN(), math.NaN()}
+	if got := Percentile(xs, 50); !math.IsNaN(got) {
+		t.Errorf("all-NaN input: got %v, want NaN", got)
+	}
+	for _, v := range Percentiles(xs, 10, 50, 99) {
+		if !math.IsNaN(v) {
+			t.Errorf("Percentiles all-NaN input: got %v, want NaN", v)
+		}
+	}
+}
+
+func TestPercentilesIgnoreNaN(t *testing.T) {
+	withNaN := []float64{5, math.NaN(), 1, 3, 2, 4}
+	got := Percentiles(withNaN, 0, 50, 100)
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Percentiles[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramOutOfRangeCounters(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-3, -0.1, 2, 5, 9.9, 10, 42, math.NaN()} {
+		h.Add(x)
+	}
+	if got := h.Under(); got != 2 {
+		t.Errorf("Under() = %d, want 2", got)
+	}
+	if got := h.Over(); got != 2 {
+		t.Errorf("Over() = %d, want 2", got)
+	}
+	if got := h.NaNs(); got != 1 {
+		t.Errorf("NaNs() = %d, want 1", got)
+	}
+	if got := h.N(); got != 7 {
+		t.Errorf("N() = %d, want 7 (NaN excluded)", got)
+	}
+	// Clamping semantics unchanged: out-of-range samples still land in
+	// the edge bins.
+	counts := h.Counts()
+	if counts[0] != 2 {
+		t.Errorf("bin 0 = %d, want 2 (underflow clamped)", counts[0])
+	}
+	if counts[4] != 3 {
+		t.Errorf("last bin = %d, want 3 (9.9 plus two overflows)", counts[4])
+	}
+}
+
+func TestHistogramNaNDoesNotTouchBins(t *testing.T) {
+	h, err := NewHistogram(0, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.NaN())
+	for i, c := range h.Counts() {
+		if c != 0 {
+			t.Errorf("bin %d = %d after NaN-only input, want 0", i, c)
+		}
+	}
+	if h.N() != 0 {
+		t.Errorf("N() = %d after NaN-only input, want 0", h.N())
+	}
+}

@@ -142,6 +142,18 @@ func (s Spec) meanBitsForType(c Codec, t FrameType) float64 {
 	return gopBits * c.TypeBitWeight[t] / weightSum
 }
 
+// meanBitsTable precomputes meanBitsForType for every frame type, so the
+// per-frame generation loop does not re-expand the GOP pattern. Entries
+// are computed by the exact same expression as meanBitsForType, keeping
+// generated streams bit-identical.
+func (s Spec) meanBitsTable(c Codec) [FrameB + 1]float64 {
+	var out [FrameB + 1]float64
+	for t := FrameI; t <= FrameB; t++ {
+		out[t] = s.meanBitsForType(c, t)
+	}
+	return out
+}
+
 // sceneTrack precomputes per-scene complexity multipliers so that aligned
 // ladder renditions share identical scene structure.
 type sceneTrack struct {
@@ -197,12 +209,13 @@ func Generate(spec Spec, dur sim.Time, seed int64) (*Stream, error) {
 
 	n := int(dur.Seconds() * spec.FPS)
 	types := spec.gopTypes()
+	meanBits := spec.meanBitsTable(spec.Codec)
 	frames := make([]Frame, 0, n)
 	for i := 0; i < n; i++ {
 		t := types[i%len(types)]
 		pts := sim.Time(float64(i) / spec.FPS)
 		drift := spec.Title.Complexity * scenes.multAt(pts)
-		bits := spec.meanBitsForType(spec.Codec, t) * drift * frameRNG.LognormalMeanCV(1, spec.Codec.JitterCV)
+		bits := meanBits[t] * drift * frameRNG.LognormalMeanCV(1, spec.Codec.JitterCV)
 		cycles := (spec.Codec.PixelCycles*spec.Res.Pixels() + spec.Codec.BitCycles*bits) *
 			spec.Codec.TypeCycleMult[t] * drift * frameRNG.LognormalMeanCV(1, spec.Codec.JitterCV/2)
 		frames = append(frames, Frame{Index: i, Type: t, PTS: pts, Bits: bits, Cycles: cycles})
