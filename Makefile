@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test alloc-budget golden trace-golden bench bench-compare bench-baseline profile
+.PHONY: check vet build test alloc-budget fuzz-short golden trace-golden bench bench-compare bench-baseline profile
 
 # The full gate: vet, build, race-enabled tests (includes the golden
 # regression suite and the parallel/serial equivalence test), and the
@@ -21,6 +21,16 @@ test:
 alloc-budget:
 	$(GO) test ./internal/experiments -run TestRunLoopAllocBudget -count 1
 	$(GO) test ./internal/sim -run TestEngineScheduleFireAllocFree -count 1
+
+# Ten seconds of coverage-guided fuzzing per untrusted-input parser
+# (checked-in seeds live under */testdata/fuzz). Native fuzzing allows
+# one -fuzz target per invocation, hence the separate runs.
+FUZZTIME ?= 10s
+fuzz-short:
+	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzParseGovernorID$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzParseABRID$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzRunConfigValidate$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDecodeRunRequest$$' -fuzztime $(FUZZTIME)
 
 # Regenerate the pinned experiment outputs after an intended model
 # change, then review the diff like any other code change.

@@ -1,6 +1,7 @@
 package videodvfs_test
 
 import (
+	"errors"
 	"fmt"
 
 	"videodvfs"
@@ -52,6 +53,33 @@ func ExampleRun_comparison() {
 		a.CPUJ < b.CPUJ, a.QoE.DroppedFrames == b.QoE.DroppedFrames)
 	// Output:
 	// saves energy: true, same drops: true
+}
+
+// ExampleRunConfig_Validate shows checking a session before running it:
+// every rejection wraps ErrInvalidConfig, with the parse-level sentinel
+// still distinguishable underneath.
+func ExampleRunConfig_Validate() {
+	cfg := videodvfs.NewSession(videodvfs.WithGovernor("warpdrive"))
+	err := cfg.Validate()
+	fmt.Println("invalid config:", errors.Is(err, videodvfs.ErrInvalidConfig))
+	fmt.Println("unknown governor:", errors.Is(err, videodvfs.ErrUnknownGovernor))
+	// Output:
+	// invalid config: true
+	// unknown governor: true
+}
+
+// ExampleConfigKey shows the content-addressed identity used by the
+// dvfsd result cache: equal configs share a key, any knob change moves
+// it.
+func ExampleConfigKey() {
+	a, _ := videodvfs.ConfigKey(videodvfs.DefaultSession())
+	b, _ := videodvfs.ConfigKey(videodvfs.NewSession())
+	c, _ := videodvfs.ConfigKey(videodvfs.NewSession(videodvfs.WithSeed(2)))
+	fmt.Println("equal configs share a key:", a == b)
+	fmt.Println("seed changes the key:", a != c)
+	// Output:
+	// equal configs share a key: true
+	// seed changes the key: true
 }
 
 // ExampleExperiment regenerates one of the evaluation's tables.

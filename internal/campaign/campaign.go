@@ -113,18 +113,15 @@ func Do[T any](jobs []Job[T], opts Options[T]) []Outcome[T] {
 	return out
 }
 
-// runOne executes one job with panic recovery. Each worker writes only
-// its own result slot, so the slice needs no locking.
+// runOne executes one job under the Protect panic discipline. Each
+// worker writes only its own result slot, so the slice needs no locking.
 func runOne[T any](i int, job Job[T]) (out Outcome[T]) {
 	out.Index = i
-	defer func() {
-		if r := recover(); r != nil {
-			stack := make([]byte, 16<<10)
-			stack = stack[:runtime.Stack(stack, false)]
-			out.Err = &PanicError{Index: i, Value: r, Stack: stack}
-		}
-	}()
-	out.Value, out.Err = job()
+	out.Err = Protect(i, func() error {
+		var err error
+		out.Value, err = job()
+		return err
+	})
 	return out
 }
 

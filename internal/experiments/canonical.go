@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+
+	"videodvfs/internal/sim"
+)
+
+// CanonicalConfig serializes every result-determining field of cfg into a
+// deterministic byte string, the preimage of the result cache's
+// content-addressed key. Two configs produce the same bytes iff Run would
+// produce the same result for both, so canonical bytes — not Go equality —
+// define cache identity.
+//
+// The encoding rules (DESIGN.md §9):
+//
+//   - one "key=value\n" line per field, in RunConfig declaration order;
+//   - floats (and sim.Time, as seconds) use strconv 'g'/-1/64 — the
+//     shortest round-trip form, matching the trace sinks — so equal
+//     float64 values always encode identically;
+//   - bools encode as 0/1, enums as their integer value;
+//   - composite fields (Device, Policy, RRC, Thermal) are expanded
+//     in-line field by field: the device is identified by its full OPP
+//     table, not its name, so a custom model never collides with a
+//     built-in one sharing the name;
+//   - nil-able fields encode the empty string when unset, so "unset" and
+//     any set value never collide.
+//
+// The second return is false when the config is uncacheable: a frame
+// Trace (content not worth hashing frame-by-frame), an OnSample callback,
+// or a Tracer make the run's observable behavior depend on state outside
+// the config.
+func CanonicalConfig(cfg RunConfig) ([]byte, bool) {
+	if cfg.Trace != nil || cfg.OnSample != nil || cfg.Tracer != nil {
+		return nil, false
+	}
+	b := make([]byte, 0, 512)
+	field := func(key string) { b = append(append(b, key...), '=') }
+	end := func() { b = append(b, '\n') }
+	str := func(key, v string) { field(key); b = append(b, v...); end() }
+	flt := func(key string, v float64) {
+		field(key)
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		end()
+	}
+	dur := func(key string, v sim.Time) { flt(key, v.Seconds()) }
+	num := func(key string, v int64) { field(key); b = strconv.AppendInt(b, v, 10); end() }
+	boo := func(key string, v bool) {
+		n := int64(0)
+		if v {
+			n = 1
+		}
+		num(key, n)
+	}
+
+	str("device.name", cfg.Device.Name)
+	dur("device.latency", cfg.Device.TransitionLatency)
+	num("device.opps", int64(len(cfg.Device.OPPs)))
+	for i, o := range cfg.Device.OPPs {
+		p := "device.opp" + strconv.Itoa(i)
+		flt(p+".freq", o.FreqHz)
+		flt(p+".volt", o.VoltageV)
+		flt(p+".active", o.ActiveW)
+		flt(p+".idle", o.IdleW)
+	}
+	str("governor", string(cfg.Governor))
+	flt("policy.margin", cfg.Policy.Margin)
+	flt("policy.sigmak", cfg.Policy.SigmaK)
+	flt("policy.alpha", cfg.Policy.Alpha)
+	num("policy.predictor", int64(cfg.Policy.Predictor))
+	dur("policy.guard", cfg.Policy.Guard)
+	flt("policy.targetqueue", cfg.Policy.TargetQueueFrac)
+	flt("policy.sprint", cfg.Policy.SprintFrames)
+	boo("policy.racetoidle", cfg.Policy.RaceToIdle)
+	boo("policy.startupboost", cfg.Policy.StartupBoost)
+	num("policy.minopp", int64(cfg.Policy.MinOPP))
+	str("title.name", cfg.Title.Name)
+	flt("title.complexity", cfg.Title.Complexity)
+	dur("title.scenedur", cfg.Title.SceneMeanDur)
+	flt("title.scenecv", cfg.Title.SceneCV)
+	str("rung.name", cfg.Rung.Name)
+	num("rung.w", int64(cfg.Rung.Width))
+	num("rung.h", int64(cfg.Rung.Height))
+	str("abr", string(cfg.ABR))
+	str("net", string(cfg.Net))
+	if cfg.RRC == nil {
+		str("rrc", "")
+	} else {
+		flt("rrc.idlew", cfg.RRC.IdleW)
+		flt("rrc.fachw", cfg.RRC.FACHW)
+		flt("rrc.dchw", cfg.RRC.DCHW)
+		flt("rrc.txw", cfg.RRC.TxExtraW)
+		dur("rrc.t1", cfg.RRC.T1)
+		dur("rrc.t2", cfg.RRC.T2)
+		dur("rrc.promoidle", cfg.RRC.PromoIdle)
+		dur("rrc.promofach", cfg.RRC.PromoFACH)
+		boo("rrc.fastdormancy", cfg.RRC.FastDormancy)
+	}
+	dur("duration", cfg.Duration)
+	num("seed", cfg.Seed)
+	num("decodedqueuecap", int64(cfg.DecodedQueueCap))
+	flt("lowwatersec", cfg.LowWaterSec)
+	if cfg.Thermal == nil {
+		str("thermal", "")
+	} else {
+		flt("thermal.ambient", cfg.Thermal.AmbientC)
+		flt("thermal.rth", cfg.Thermal.RthCPerW)
+		dur("thermal.tau", cfg.Thermal.Tau)
+		flt("thermal.trip", cfg.Thermal.TripC)
+		flt("thermal.hyst", cfg.Thermal.HystC)
+		dur("thermal.sample", cfg.Thermal.Sample)
+		flt("thermal.initial", cfg.Thermal.InitialC)
+	}
+	boo("cstates", cfg.CStates)
+	str("codec", cfg.Codec)
+	boo("lowlatency", cfg.LowLatency)
+	dur("segmentdur", cfg.SegmentDur)
+	boo("background", cfg.Background)
+	dur("horizon", cfg.Horizon)
+	flt("fps", cfg.FPS)
+	return b, true
+}
+
+// ConfigKey returns the hex SHA-256 of cfg's canonical serialization —
+// the content-addressed identity a result cache stores runs under. The
+// second return is false for uncacheable configs (see CanonicalConfig).
+func ConfigKey(cfg RunConfig) (string, bool) {
+	b, ok := CanonicalConfig(cfg)
+	if !ok {
+		return "", false
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), true
+}

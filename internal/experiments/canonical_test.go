@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
+)
+
+func TestCanonicalConfigDeterministic(t *testing.T) {
+	a, ok := CanonicalConfig(DefaultRunConfig())
+	if !ok {
+		t.Fatal("default config reported uncacheable")
+	}
+	b, _ := CanonicalConfig(DefaultRunConfig())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical bytes differ across calls:\n%s\n---\n%s", a, b)
+	}
+	k1, _ := ConfigKey(DefaultRunConfig())
+	k2, _ := ConfigKey(DefaultRunConfig())
+	if k1 != k2 || len(k1) != 64 {
+		t.Fatalf("keys differ or malformed: %q vs %q", k1, k2)
+	}
+}
+
+func TestCanonicalConfigSeparatesFields(t *testing.T) {
+	base := DefaultRunConfig()
+	mutations := map[string]func(*RunConfig){
+		"seed":     func(c *RunConfig) { c.Seed = 99 },
+		"governor": func(c *RunConfig) { c.Governor = GovOndemand },
+		"net":      func(c *RunConfig) { c.Net = NetLTE },
+		"duration": func(c *RunConfig) { c.Duration = 61 * sim.Second },
+		"rung":     func(c *RunConfig) { c.Rung.Name = "720p-custom"; c.Rung.Width = 1281 },
+		"device-opp": func(c *RunConfig) {
+			c.Device.OPPs = append([]cpu.OPP(nil), c.Device.OPPs...)
+			c.Device.OPPs[0].ActiveW *= 1.5
+		},
+		"policy":     func(c *RunConfig) { c.Policy.Margin = 0.33 },
+		"rrc":        func(c *RunConfig) { rc := netsim.DefaultUMTS(); c.RRC = &rc },
+		"thermal":    func(c *RunConfig) { th := cpu.DefaultThermalConfig(); c.Thermal = &th },
+		"cstates":    func(c *RunConfig) { c.CStates = true },
+		"codec":      func(c *RunConfig) { c.Codec = "hevc" },
+		"fps":        func(c *RunConfig) { c.FPS = 24 },
+		"horizon":    func(c *RunConfig) { c.Horizon = 10 * sim.Minute },
+		"background": func(c *RunConfig) { c.Background = false },
+	}
+	baseKey, _ := ConfigKey(base)
+	seen := map[string]string{"": baseKey}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		key, ok := ConfigKey(cfg)
+		if !ok {
+			t.Fatalf("%s: mutated config reported uncacheable", name)
+		}
+		for prev, prevKey := range seen {
+			if key == prevKey {
+				t.Fatalf("mutation %q collides with %q: key %s", name, prev, key)
+			}
+		}
+		seen[name] = key
+	}
+}
+
+// A device with the same name but a different power curve must not share
+// a cache identity — the key is content-addressed, not name-addressed.
+func TestCanonicalConfigDeviceContentNotName(t *testing.T) {
+	a := DefaultRunConfig()
+	b := DefaultRunConfig()
+	b.Device.OPPs = append([]cpu.OPP(nil), b.Device.OPPs...)
+	b.Device.OPPs[len(b.Device.OPPs)-1].IdleW += 0.001
+	ka, _ := ConfigKey(a)
+	kb, _ := ConfigKey(b)
+	if ka == kb {
+		t.Fatal("same-name devices with different OPP tables share a key")
+	}
+}
+
+func TestCanonicalConfigUncacheable(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.OnSample = func(sim.Time, float64, float64, float64) {}
+	if _, ok := CanonicalConfig(cfg); ok {
+		t.Fatal("OnSample config reported cacheable")
+	}
+	cfg = DefaultRunConfig()
+	cfg.Tracer = trace.NewCollector()
+	if _, ok := ConfigKey(cfg); ok {
+		t.Fatal("traced config reported cacheable")
+	}
+}
+
+// The canonical form is line-oriented with every field present, so a
+// field added to RunConfig without a canonical line is caught by the
+// golden line count here (update deliberately when extending RunConfig
+// and DESIGN.md §9 together).
+func TestCanonicalConfigShape(t *testing.T) {
+	b, _ := CanonicalConfig(DefaultRunConfig())
+	lines := strings.Split(strings.TrimSuffix(string(b), "\n"), "\n")
+	// 3 device header + 4 per OPP + 1 governor + 10 policy + 4 title +
+	// 3 rung + abr/net/rrc + duration/seed/queuecap/lowwater + thermal +
+	// cstates/codec/lowlatency/segmentdur/background/horizon/fps.
+	opps := len(DefaultRunConfig().Device.OPPs)
+	want := 3 + 4*opps + 1 + 10 + 4 + 3 + 3 + 4 + 1 + 7
+	if len(lines) != want {
+		t.Fatalf("canonical form has %d lines, want %d:\n%s", len(lines), want, b)
+	}
+	for i, ln := range lines {
+		if !strings.Contains(ln, "=") {
+			t.Fatalf("line %d %q is not key=value", i, ln)
+		}
+	}
+}

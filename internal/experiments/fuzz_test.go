@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"errors"
+	"testing"
+
+	"videodvfs/internal/sim"
+)
+
+// FuzzParseGovernorID asserts the parser total: any input either yields
+// a registered ID that round-trips, or an error wrapping
+// ErrUnknownGovernor — never a panic, never a fabricated ID.
+func FuzzParseGovernorID(f *testing.F) {
+	for _, id := range GovernorIDs() {
+		f.Add(string(id))
+	}
+	f.Add("")
+	f.Add("ENERGYAWARE")
+	f.Add("energyaware ")
+	f.Add("ondemand\x00")
+	f.Add("性能")
+	f.Fuzz(func(t *testing.T, name string) {
+		id, err := ParseGovernorID(name)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownGovernor) {
+				t.Fatalf("ParseGovernorID(%q) error %v does not wrap ErrUnknownGovernor", name, err)
+			}
+			if id != "" {
+				t.Fatalf("ParseGovernorID(%q) returned id %q alongside error", name, id)
+			}
+			return
+		}
+		if string(id) != name {
+			t.Fatalf("ParseGovernorID(%q) = %q, did not round-trip", name, id)
+		}
+		if again, err := ParseGovernorID(string(id)); err != nil || again != id {
+			t.Fatalf("accepted ID %q did not re-parse: %v", id, err)
+		}
+	})
+}
+
+// FuzzParseABRID mirrors FuzzParseGovernorID, plus the documented quirk
+// that the empty string is accepted as ABRFixed.
+func FuzzParseABRID(f *testing.F) {
+	for _, id := range ABRIDs() {
+		f.Add(string(id))
+	}
+	f.Add("")
+	f.Add("FIXED")
+	f.Add("bba ")
+	f.Add("rate\n")
+	f.Fuzz(func(t *testing.T, name string) {
+		id, err := ParseABRID(name)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownABR) {
+				t.Fatalf("ParseABRID(%q) error %v does not wrap ErrUnknownABR", name, err)
+			}
+			return
+		}
+		if name == "" {
+			if id != ABRFixed {
+				t.Fatalf("ParseABRID(\"\") = %q, want %q", id, ABRFixed)
+			}
+			return
+		}
+		if string(id) != name {
+			t.Fatalf("ParseABRID(%q) = %q, did not round-trip", name, id)
+		}
+	})
+}
+
+// FuzzRunConfigValidate asserts Validate is total over arbitrary string
+// and scalar fields, errors always wrap ErrInvalidConfig, and every
+// config Validate accepts has a stable canonical cache identity.
+func FuzzRunConfigValidate(f *testing.F) {
+	f.Add("energyaware", "fixed", "const8", 60.0, int64(1))
+	f.Add("ondemand", "", "wifi", 120.0, int64(7))
+	f.Add("oracle", "bba", "lte", 0.5, int64(-3))
+	f.Add("", "rate", "", -1.0, int64(0))
+	f.Add("nosuchgov", "nosuchabr", "nosuchnet", 1e18, int64(1<<62))
+	f.Fuzz(func(t *testing.T, gov, abr, net string, durationS float64, seed int64) {
+		cfg := DefaultRunConfig()
+		cfg.Governor = GovernorID(gov)
+		cfg.ABR = ABRID(abr)
+		cfg.Net = NetKind(net)
+		cfg.Duration = sim.Time(durationS) * sim.Second
+		cfg.Seed = seed
+		err := cfg.Validate()
+		if err != nil {
+			if !errors.Is(err, ErrInvalidConfig) {
+				t.Fatalf("Validate error %v does not wrap ErrInvalidConfig", err)
+			}
+			return
+		}
+		k1, ok := ConfigKey(cfg)
+		if !ok {
+			t.Fatal("valid config without callbacks reported uncacheable")
+		}
+		k2, _ := ConfigKey(cfg)
+		if k1 != k2 || len(k1) != 64 {
+			t.Fatalf("cache key unstable or malformed: %q vs %q", k1, k2)
+		}
+	})
+}

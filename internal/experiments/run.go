@@ -7,6 +7,7 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"videodvfs/internal/abr"
@@ -188,6 +189,15 @@ func (cfg RunConfig) Validate() error {
 	}
 	if cfg.Duration <= 0 && cfg.Trace == nil {
 		return fmt.Errorf("experiments: %w: duration %v not positive", ErrInvalidConfig, cfg.Duration)
+	}
+	// A non-finite duration or horizon would defeat the horizon check
+	// (every comparison against NaN is false), turning one bad request
+	// into an unbounded simulation.
+	if math.IsNaN(float64(cfg.Duration)) || math.IsInf(float64(cfg.Duration), 0) {
+		return fmt.Errorf("experiments: %w: duration %v not finite", ErrInvalidConfig, cfg.Duration)
+	}
+	if math.IsNaN(float64(cfg.Horizon)) || math.IsInf(float64(cfg.Horizon), 0) {
+		return fmt.Errorf("experiments: %w: horizon %v not finite", ErrInvalidConfig, cfg.Horizon)
 	}
 	return nil
 }

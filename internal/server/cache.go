@@ -1,0 +1,172 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheStats is a point-in-time snapshot of the result cache's counters.
+type cacheStats struct {
+	// Hits counts lookups served from memory.
+	Hits int64
+	// Misses counts lookups that had to compute (singleflight leaders).
+	Misses int64
+	// Coalesced counts lookups that joined another request's in-flight
+	// computation instead of starting their own.
+	Coalesced int64
+	// Evictions counts entries dropped to stay under the byte bound.
+	Evictions int64
+	// Entries and Bytes describe the current residency.
+	Entries int
+	Bytes   int64
+}
+
+// HitRatio returns hits / (hits + misses + coalesced). Coalesced lookups
+// count toward the denominator but not as hits: they did wait on a
+// simulation, just not their own.
+func (s cacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// flight is one in-progress computation that identical concurrent
+// requests coalesce onto.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// resultCache is a content-addressed response cache: canonical-config
+// SHA-256 → marshalled response body, bounded by total body bytes with
+// LRU eviction, with singleflight coalescing so N concurrent identical
+// requests cost one simulation.
+//
+// Determinism makes this sound: a RunConfig's result never changes, so
+// entries have no TTL and invalidation does not exist — the only reason
+// to drop an entry is the byte bound.
+type resultCache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	size     int64
+	ll       *list.List // MRU at front; values are *cacheEntry
+	items    map[string]*list.Element
+	flights  map[string]*flight
+	stats    cacheStats
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns a cache bounded to maxBytes of body bytes.
+// maxBytes ≤ 0 disables storage entirely (every lookup computes), which
+// keeps the singleflight behavior but no residency.
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		flights:  make(map[string]*flight),
+	}
+}
+
+// cacheOutcome tags how a Do call was satisfied, surfaced to clients in
+// the X-Dvfsd-Cache header.
+type cacheOutcome string
+
+const (
+	cacheHit       cacheOutcome = "hit"
+	cacheMiss      cacheOutcome = "miss"
+	cacheCoalesced cacheOutcome = "coalesced"
+	cacheBypass    cacheOutcome = "bypass"
+)
+
+// Do returns the body cached under key, computing it with compute on a
+// miss. Concurrent calls with the same key coalesce: one runs compute,
+// the rest wait and share its result. Failed computations are not
+// cached — the next request retries.
+func (c *resultCache) Do(key string, compute func() ([]byte, error)) ([]byte, cacheOutcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.stats.Hits++
+		body := el.Value.(*cacheEntry).body
+		c.mu.Unlock()
+		return body, cacheHit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.body, cacheCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	f.body, f.err = compute()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.insert(key, f.body)
+	}
+	c.mu.Unlock()
+	return f.body, cacheMiss, f.err
+}
+
+// Get returns the body cached under key without computing on a miss.
+func (c *resultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*cacheEntry).body, true
+}
+
+// insert stores body under key and evicts from the LRU tail until the
+// byte bound holds. Bodies larger than the whole bound are not stored.
+// Callers hold c.mu.
+func (c *resultCache) insert(key string, body []byte) {
+	if int64(len(body)) > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok { // lost a benign race: already stored
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.size += int64(len(body))
+	for c.size > c.maxBytes {
+		tail := c.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*cacheEntry)
+		c.ll.Remove(tail)
+		delete(c.items, ent.key)
+		c.size -= int64(len(ent.body))
+		c.stats.Evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *resultCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	s.Bytes = c.size
+	return s
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"videodvfs/internal/experiments"
+)
+
+// FuzzDecodeRunRequest asserts the full untrusted-input path is total:
+// arbitrary bytes either decode into a RunRequest whose Config() is a
+// validated, cacheable RunConfig, or fail with a typed error — never a
+// panic, never a config that Validate would reject.
+func FuzzDecodeRunRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"duration_s": 30, "seed": 2}`))
+	f.Add([]byte(`{"governor": "ondemand", "abr": "bba", "net": "lte", "duration_s": 60}`))
+	f.Add([]byte(`{"device": "flagship", "title": "sports", "rung": "1080p", "fps": 24}`))
+	f.Add([]byte(`{"policy": {"margin": 0.3, "beta": 0.5}}`))
+	f.Add([]byte(`{"governor": "nosuch"}`))
+	f.Add([]byte(`{"unknown_field": 1}`))
+	f.Add([]byte(`{"duration_s": -5}`))
+	f.Add([]byte(`{} trailing`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"duration_s": 1e309}`))
+	f.Add([]byte("{\"title\": \"\x00\"}"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodeRunRequest(bytes.NewReader(body))
+		if err != nil {
+			if !errors.Is(err, ErrBadRequest) {
+				t.Fatalf("decode error %v does not wrap ErrBadRequest", err)
+			}
+			return
+		}
+		cfg, err := req.Config()
+		if err != nil {
+			if !errors.Is(err, experiments.ErrInvalidConfig) {
+				t.Fatalf("Config error %v does not wrap ErrInvalidConfig", err)
+			}
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("Config() returned a config Validate rejects: %v", err)
+		}
+		// Requests carry no callbacks, so every accepted config must have
+		// a stable content-addressed identity.
+		k1, ok := experiments.ConfigKey(cfg)
+		if !ok {
+			t.Fatal("decoded config reported uncacheable")
+		}
+		if k2, _ := experiments.ConfigKey(cfg); k1 != k2 || len(k1) != 64 {
+			t.Fatalf("cache key unstable or malformed: %q vs %q", k1, k2)
+		}
+	})
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
+)
+
+// ErrBadRequest reports a request body the decoder rejected before any
+// simulation semantics were involved: malformed JSON, unknown fields,
+// trailing garbage. Semantic violations surface as
+// experiments.ErrInvalidConfig instead; both map to HTTP 400.
+var ErrBadRequest = errors.New("bad request")
+
+// RunRequest is the wire form of one simulation request. Every field is
+// optional; zero values inherit the library default (DefaultRunConfig),
+// so `{}` runs the evaluation's base case. Built-in devices, titles, and
+// rungs are referenced by name — the service owns the catalogs, clients
+// own only the selection.
+type RunRequest struct {
+	// Device names a built-in CPU model ("flagship", "midrange",
+	// "efficient").
+	Device string `json:"device,omitempty"`
+	// Governor selects the frequency policy (videodvfs.GovernorNames).
+	Governor string `json:"governor,omitempty"`
+	// Title names a built-in content profile ("news", "sports",
+	// "animation").
+	Title string `json:"title,omitempty"`
+	// Rung names the pinned rendition ("360p" … "1080p") under fixed ABR.
+	Rung string `json:"rung,omitempty"`
+	// ABR selects the adaptation algorithm ("fixed", "rate", "bba").
+	ABR string `json:"abr,omitempty"`
+	// Net selects the bandwidth profile ("wifi", "const8", "lte",
+	// "umts").
+	Net string `json:"net,omitempty"`
+	// DurationS is the content length in seconds (0 = 60).
+	DurationS float64 `json:"duration_s,omitempty"`
+	// Seed drives all stochastic inputs (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Codec selects the decode model ("h264", "hevc").
+	Codec string `json:"codec,omitempty"`
+	// CStates enables the cpuidle model.
+	CStates bool `json:"cstates,omitempty"`
+	// LowLatency switches the player to live-streaming thresholds.
+	LowLatency bool `json:"low_latency,omitempty"`
+	// Thermal attaches the default RC thermal model + throttler.
+	Thermal bool `json:"thermal,omitempty"`
+	// Background toggles the UI/OS load generator (unset = on, the
+	// evaluation default).
+	Background *bool `json:"background,omitempty"`
+	// SegmentDurS overrides the media segment duration in seconds.
+	SegmentDurS float64 `json:"segment_dur_s,omitempty"`
+	// FPS overrides the frame rate.
+	FPS float64 `json:"fps,omitempty"`
+	// HorizonS caps virtual time in seconds; the server clamps it to its
+	// own maximum either way (see Config.MaxHorizon).
+	HorizonS float64 `json:"horizon_s,omitempty"`
+	// DecodedQueueCap overrides the player's decode-ahead depth.
+	DecodedQueueCap int `json:"decoded_queue_cap,omitempty"`
+	// LowWaterSec enables the player's burst-prefetch hysteresis.
+	LowWaterSec float64 `json:"low_water_sec,omitempty"`
+	// Policy overrides individual energy-aware governor knobs.
+	Policy *PolicyRequest `json:"policy,omitempty"`
+}
+
+// PolicyRequest overrides individual fields of the energy-aware
+// governor's tuning; nil fields keep the paper default.
+type PolicyRequest struct {
+	Margin          *float64 `json:"margin,omitempty"`
+	SigmaK          *float64 `json:"sigma_k,omitempty"`
+	Alpha           *float64 `json:"alpha,omitempty"`
+	GuardMs         *float64 `json:"guard_ms,omitempty"`
+	TargetQueueFrac *float64 `json:"target_queue_frac,omitempty"`
+	SprintFrames    *float64 `json:"sprint_frames,omitempty"`
+	RaceToIdle      *bool    `json:"race_to_idle,omitempty"`
+	StartupBoost    *bool    `json:"startup_boost,omitempty"`
+	MinOPP          *int     `json:"min_opp,omitempty"`
+}
+
+// Config resolves the request against the built-in catalogs into a
+// concrete, validated RunConfig. Catalog misses and semantic violations
+// return errors wrapping experiments.ErrInvalidConfig.
+func (r RunRequest) Config() (experiments.RunConfig, error) {
+	cfg := experiments.DefaultRunConfig()
+	if r.Device != "" {
+		dev, err := cpu.DeviceByName(r.Device)
+		if err != nil {
+			return cfg, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		cfg.Device = dev
+	}
+	if r.Governor != "" {
+		gov, err := experiments.ParseGovernorID(r.Governor)
+		if err != nil {
+			return cfg, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		cfg.Governor = gov
+	}
+	if r.Title != "" {
+		title, err := video.TitleByName(r.Title)
+		if err != nil {
+			return cfg, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		cfg.Title = title
+	}
+	if r.Rung != "" {
+		rung, err := video.ResolutionByName(r.Rung)
+		if err != nil {
+			return cfg, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		cfg.Rung = rung
+	}
+	if r.ABR != "" {
+		abr, err := experiments.ParseABRID(r.ABR)
+		if err != nil {
+			return cfg, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		cfg.ABR = abr
+	}
+	if r.Net != "" {
+		cfg.Net = experiments.NetKind(r.Net)
+	}
+	if r.DurationS != 0 {
+		cfg.Duration = sim.Time(r.DurationS) * sim.Second
+	}
+	if r.Seed != 0 {
+		cfg.Seed = r.Seed
+	}
+	cfg.Codec = r.Codec
+	cfg.CStates = r.CStates
+	cfg.LowLatency = r.LowLatency
+	if r.Thermal {
+		th := cpu.DefaultThermalConfig()
+		cfg.Thermal = &th
+	}
+	if r.Background != nil {
+		cfg.Background = *r.Background
+	}
+	if r.SegmentDurS != 0 {
+		cfg.SegmentDur = sim.Time(r.SegmentDurS) * sim.Second
+	}
+	cfg.FPS = r.FPS
+	if r.HorizonS != 0 {
+		cfg.Horizon = sim.Time(r.HorizonS) * sim.Second
+	}
+	cfg.DecodedQueueCap = r.DecodedQueueCap
+	cfg.LowWaterSec = r.LowWaterSec
+	if p := r.Policy; p != nil {
+		if p.Margin != nil {
+			cfg.Policy.Margin = *p.Margin
+		}
+		if p.SigmaK != nil {
+			cfg.Policy.SigmaK = *p.SigmaK
+		}
+		if p.Alpha != nil {
+			cfg.Policy.Alpha = *p.Alpha
+		}
+		if p.GuardMs != nil {
+			cfg.Policy.Guard = sim.Time(*p.GuardMs) * sim.Millisecond
+		}
+		if p.TargetQueueFrac != nil {
+			cfg.Policy.TargetQueueFrac = *p.TargetQueueFrac
+		}
+		if p.SprintFrames != nil {
+			cfg.Policy.SprintFrames = *p.SprintFrames
+		}
+		if p.RaceToIdle != nil {
+			cfg.Policy.RaceToIdle = *p.RaceToIdle
+		}
+		if p.StartupBoost != nil {
+			cfg.Policy.StartupBoost = *p.StartupBoost
+		}
+		if p.MinOPP != nil {
+			cfg.Policy.MinOPP = *p.MinOPP
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
+// SweepRequest is the wire form of a batch sweep: a base request plus
+// axis lists, expanded as their cross product exactly like
+// experiments.Sweep (governor-major, seed-minor).
+type SweepRequest struct {
+	// Base is the config template every point starts from.
+	Base RunRequest `json:"base"`
+	// Governors, Nets, Devices, Titles, Rungs are the swept axes; nil
+	// keeps the base value.
+	Governors []string `json:"governors,omitempty"`
+	Nets      []string `json:"nets,omitempty"`
+	Devices   []string `json:"devices,omitempty"`
+	Titles    []string `json:"titles,omitempty"`
+	Rungs     []string `json:"rungs,omitempty"`
+	// Seeds is the explicit seed axis.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// SeedRange expands to the seeds [lo, hi] inclusive; mutually
+	// exclusive with Seeds.
+	SeedRange *[2]int64 `json:"seed_range,omitempty"`
+}
+
+// Size returns how many runs the sweep expands to, without expanding —
+// the admission check happens before any per-point allocation.
+func (r SweepRequest) Size() int64 {
+	dim := func(n int) int64 {
+		if n == 0 {
+			return 1
+		}
+		return int64(n)
+	}
+	seeds := int64(len(r.Seeds))
+	if r.SeedRange != nil && r.SeedRange[1] >= r.SeedRange[0] {
+		seeds = r.SeedRange[1] - r.SeedRange[0] + 1
+	}
+	if seeds == 0 {
+		seeds = 1
+	}
+	size := dim(len(r.Governors)) * dim(len(r.Nets)) * dim(len(r.Devices)) *
+		dim(len(r.Titles)) * dim(len(r.Rungs))
+	if size > 0 && seeds > (1<<62)/size { // clamp instead of overflowing
+		return 1 << 62
+	}
+	return size * seeds
+}
+
+// Configs expands the sweep into concrete validated RunConfigs.
+func (r SweepRequest) Configs() ([]experiments.RunConfig, error) {
+	base, err := r.Base.Config()
+	if err != nil {
+		return nil, fmt.Errorf("server: sweep base: %w", err)
+	}
+	sw := experiments.Sweep{Base: base}
+	for _, g := range r.Governors {
+		gov, err := experiments.ParseGovernorID(g)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		sw.Governors = append(sw.Governors, gov)
+	}
+	for _, n := range r.Nets {
+		sw.Nets = append(sw.Nets, experiments.NetKind(n))
+	}
+	for _, d := range r.Devices {
+		dev, err := cpu.DeviceByName(d)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		sw.Devices = append(sw.Devices, dev)
+	}
+	for _, tn := range r.Titles {
+		title, err := video.TitleByName(tn)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		sw.Titles = append(sw.Titles, title)
+	}
+	for _, rn := range r.Rungs {
+		rung, err := video.ResolutionByName(rn)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		sw.Rungs = append(sw.Rungs, rung)
+	}
+	switch {
+	case len(r.Seeds) > 0 && r.SeedRange != nil:
+		return nil, fmt.Errorf("server: %w: seeds and seed_range are mutually exclusive", experiments.ErrInvalidConfig)
+	case len(r.Seeds) > 0:
+		sw.Seeds = r.Seeds
+	case r.SeedRange != nil:
+		if r.SeedRange[1] < r.SeedRange[0] {
+			return nil, fmt.Errorf("server: %w: seed_range [%d, %d] is empty",
+				experiments.ErrInvalidConfig, r.SeedRange[0], r.SeedRange[1])
+		}
+		sw.Seeds = experiments.SeedRange(r.SeedRange[0], r.SeedRange[1])
+	}
+	cfgs := sw.Expand()
+	for i := range cfgs {
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("server: sweep point %d: %w", i, err)
+		}
+	}
+	return cfgs, nil
+}
+
+// decodeStrict unmarshals exactly one JSON value from r into v, rejecting
+// unknown fields and trailing non-whitespace. Errors wrap ErrBadRequest.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("server: %w: %w", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("server: %w: trailing data after JSON body", ErrBadRequest)
+	}
+	return nil
+}
+
+// DecodeRunRequest parses one RunRequest from r (strict mode: unknown
+// fields and trailing data are errors wrapping ErrBadRequest).
+func DecodeRunRequest(r io.Reader) (RunRequest, error) {
+	var req RunRequest
+	err := decodeStrict(r, &req)
+	return req, err
+}
+
+// DecodeSweepRequest parses one SweepRequest from r under the same strict
+// rules as DecodeRunRequest.
+func DecodeSweepRequest(r io.Reader) (SweepRequest, error) {
+	var req SweepRequest
+	err := decodeStrict(r, &req)
+	return req, err
+}

@@ -1,0 +1,574 @@
+// Package server turns the deterministic simulator into a long-running
+// HTTP/JSON service: single runs, batch sweeps, and named experiments
+// execute on a bounded campaign worker pool behind a content-addressed
+// result cache. Determinism is the load-bearing property — a RunConfig's
+// result never changes, so responses are cached forever, concurrent
+// identical requests coalesce into one simulation, and a cache hit is
+// byte-identical to the miss that populated it.
+//
+// Service discipline:
+//
+//   - admission control: the pool's queue is bounded; overflow returns
+//     429 with a Retry-After estimate instead of queueing unboundedly;
+//   - per-request timeouts in virtual time: every run's horizon is
+//     clamped to Config.MaxHorizon, so a starved run terminates with
+//     ErrHorizonExceeded instead of holding a worker forever;
+//   - graceful shutdown: Shutdown stops admission (503) and drains every
+//     accepted run before returning.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"videodvfs/internal/campaign"
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
+	"videodvfs/internal/video"
+)
+
+// ErrOverloaded reports a request bounced by admission control: the
+// worker pool's queue was full. Clients should retry after the
+// Retry-After hint.
+var ErrOverloaded = errors.New("server: overloaded, queue full")
+
+// Config tunes one Server.
+type Config struct {
+	// Workers is the simulation pool size (≤0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds the admission queue (≤0 = 4×workers).
+	Queue int
+	// CacheBytes bounds the result cache's total body bytes
+	// (≤0 = 64 MiB).
+	CacheBytes int64
+	// MaxHorizon caps every run's virtual-time horizon — the service's
+	// per-request timeout, enforced inside the simulation so starved
+	// runs fail with ErrHorizonExceeded (≤0 = 1 virtual hour).
+	MaxHorizon sim.Time
+	// MaxDuration rejects content longer than this up front, bounding
+	// per-run memory and wall time (≤0 = 20 virtual minutes).
+	MaxDuration sim.Time
+	// MaxSweepRuns rejects sweeps expanding to more runs than this
+	// (≤0 = 1024).
+	MaxSweepRuns int
+	// MaxBodyBytes bounds request bodies (≤0 = 1 MiB).
+	MaxBodyBytes int64
+	// Runner executes one simulation (nil = experiments.Run). Tests
+	// substitute it to script latency and failures.
+	Runner func(experiments.RunConfig) (experiments.RunResult, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 4 * max(c.Workers, 1)
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.MaxHorizon <= 0 {
+		c.MaxHorizon = sim.Time(3600) * sim.Second
+	}
+	if c.MaxDuration <= 0 {
+		c.MaxDuration = sim.Time(1200) * sim.Second
+	}
+	if c.MaxSweepRuns <= 0 {
+		c.MaxSweepRuns = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Runner == nil {
+		c.Runner = experiments.Run
+	}
+	return c
+}
+
+// Server is the simulation service. Create with New, mount Handler, stop
+// with Shutdown.
+type Server struct {
+	cfg      Config
+	pool     *campaign.Pool
+	cache    *resultCache
+	met      *metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+	runSeq   atomic.Int64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  campaign.NewPool(cfg.Workers, cfg.Queue),
+		cache: newResultCache(cfg.CacheBytes),
+		met:   newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
+	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Shutdown stops admission (new requests get 503) and drains every
+// accepted run. It returns early with ctx's error when the context ends
+// first, leaving the drain running in the background.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() { s.pool.Close(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// CacheStats exposes the result cache counters (for tests and the CLI's
+// exit report).
+func (s *Server) CacheStats() (hits, misses, coalesced int64) {
+	st := s.cache.Stats()
+	return st.Hits, st.Misses, st.Coalesced
+}
+
+// ---- response plumbing ----
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// writeError maps the service's error taxonomy onto HTTP statuses:
+// decode failures and invalid configs are the client's fault (400),
+// admission bounces are 429 with a Retry-After hint, a horizon-exceeded
+// run is a well-formed request whose scenario cannot complete (422), and
+// anything else is a server-side 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBadRequest), errors.Is(err, experiments.ErrInvalidConfig):
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+	case errors.Is(err, ErrOverloaded), errors.Is(err, campaign.ErrPoolClosed):
+		s.met.reject()
+		w.Header().Set("Retry-After", s.retryAfter())
+		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
+	case errors.Is(err, experiments.ErrHorizonExceeded):
+		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
+	}
+}
+
+// retryAfter estimates seconds until queue space frees: the backlog
+// (queued + active runs) spread over the workers, at the recent median
+// run latency. Always at least 1.
+func (s *Server) retryAfter() string {
+	p50, _ := s.met.runQuantiles()
+	if p50 <= 0 {
+		p50 = 1
+	}
+	backlog := float64(s.pool.QueueDepth() + s.pool.Active())
+	est := math.Ceil(backlog * p50 / float64(s.pool.Workers()))
+	if est < 1 {
+		est = 1
+	}
+	return fmt.Sprintf("%.0f", est)
+}
+
+// ---- run execution ----
+
+// prepare applies the service's resource bounds to a validated config:
+// duration capped up front, horizon clamped to MaxHorizon so every run
+// terminates in bounded virtual time.
+func (s *Server) prepare(cfg *experiments.RunConfig) error {
+	if cfg.Duration > s.cfg.MaxDuration {
+		return fmt.Errorf("server: %w: duration %v exceeds the service cap %v",
+			experiments.ErrInvalidConfig, cfg.Duration, s.cfg.MaxDuration)
+	}
+	h := cfg.Horizon
+	if h <= 0 {
+		h = cfg.Duration*6 + 60*sim.Second // Run's own default
+	}
+	if h > s.cfg.MaxHorizon {
+		h = s.cfg.MaxHorizon
+	}
+	cfg.Horizon = h
+	return nil
+}
+
+// execute runs one simulation through the admission-controlled pool and
+// blocks for its result. A full queue fails fast with ErrOverloaded; an
+// accepted run always completes (results feed the cache even if the
+// client has gone away).
+func (s *Server) execute(cfg experiments.RunConfig) (experiments.RunResult, error) {
+	return s.submit(cfg, func(task func()) error {
+		if !s.pool.TrySubmit(task) {
+			return ErrOverloaded
+		}
+		return nil
+	})
+}
+
+// executeQueued is execute with blocking admission, for sweep items whose
+// admission was decided once for the whole batch.
+func (s *Server) executeQueued(ctx context.Context, cfg experiments.RunConfig) (experiments.RunResult, error) {
+	return s.submit(cfg, func(task func()) error {
+		return s.pool.SubmitCtx(ctx, task)
+	})
+}
+
+func (s *Server) submit(cfg experiments.RunConfig, admit func(func()) error) (experiments.RunResult, error) {
+	type outcome struct {
+		res experiments.RunResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	seq := int(s.runSeq.Add(1))
+	task := func() {
+		t0 := time.Now()
+		var res experiments.RunResult
+		err := campaign.Protect(seq, func() error {
+			var rerr error
+			res, rerr = s.cfg.Runner(cfg)
+			return rerr
+		})
+		s.met.observeRun(time.Since(t0), err)
+		ch <- outcome{res, err}
+	}
+	if err := admit(task); err != nil {
+		return experiments.RunResult{}, err
+	}
+	out := <-ch
+	return out.res, out.err
+}
+
+// runBody is the cached response body of one run: the content-addressed
+// key plus the full result. The bytes stored in the cache are exactly the
+// bytes served, so hits are byte-identical to the miss that stored them.
+type runBody struct {
+	Key    string                `json:"key"`
+	Result experiments.RunResult `json:"result"`
+}
+
+// runCached executes cfg through the cache (hit → stored bytes,
+// miss → simulate + store, concurrent identical requests coalesce).
+func (s *Server) runCached(cfg experiments.RunConfig) ([]byte, cacheOutcome, error) {
+	key, cacheable := experiments.ConfigKey(cfg)
+	compute := func() ([]byte, error) {
+		res, err := s.execute(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(runBody{Key: key, Result: res})
+	}
+	if !cacheable {
+		body, err := compute()
+		return body, cacheBypass, err
+	}
+	return s.cache.Do(key, compute)
+}
+
+// ---- handlers ----
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.met.request("run")
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{"draining"})
+		return
+	}
+	req, err := DecodeRunRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := s.prepare(&cfg); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	switch mode := r.URL.Query().Get("trace"); mode {
+	case "":
+	case "jsonl":
+		s.handleRunTraced(w, cfg)
+		return
+	default:
+		s.writeError(w, fmt.Errorf("%w: unknown trace mode %q (jsonl)", ErrBadRequest, mode))
+		return
+	}
+	body, outcome, err := s.runCached(cfg)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dvfsd-Cache", string(outcome))
+	w.Write(body)
+}
+
+// handleRunTraced streams the run's structured event trace as JSONL,
+// closing with one "result" line. Traced runs bypass the cache (the
+// response is a stream, not a body worth pinning) but still pass
+// admission control.
+func (s *Server) handleRunTraced(w http.ResponseWriter, cfg experiments.RunConfig) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Dvfsd-Cache", string(cacheBypass))
+	sink := trace.NewJSONL(w)
+	cfg.Tracer = sink
+	res, err := s.execute(cfg)
+	if cerr := sink.Close(); cerr != nil && err == nil {
+		return // client went away mid-stream; nothing left to say
+	}
+	if err != nil {
+		// Headers are gone; surface the failure in-band as a final line.
+		if body, merr := json.Marshal(errorBody{err.Error()}); merr == nil {
+			w.Write(append(body, '\n'))
+		}
+		return
+	}
+	final, err := json.Marshal(struct {
+		T  float64               `json:"t"`
+		Ev string                `json:"ev"`
+		R  experiments.RunResult `json:"result"`
+	}{res.SimEnd.Seconds(), "result", res})
+	if err == nil {
+		w.Write(append(final, '\n'))
+	}
+}
+
+// sweepBody is the response of one sweep: per-point outcomes in
+// expansion order, each either a run body (shared with the single-run
+// cache) or an error string.
+type sweepBody struct {
+	Count    int            `json:"count"`
+	Outcomes []sweepOutcome `json:"outcomes"`
+}
+
+type sweepOutcome struct {
+	Index int             `json:"index"`
+	Run   json.RawMessage `json:"run,omitempty"`
+	Error string          `json:"error,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.met.request("sweep")
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{"draining"})
+		return
+	}
+	req, err := DecodeSweepRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	if size := req.Size(); size > int64(s.cfg.MaxSweepRuns) {
+		s.writeError(w, fmt.Errorf("server: %w: sweep expands to %d runs, cap is %d",
+			experiments.ErrInvalidConfig, size, s.cfg.MaxSweepRuns))
+		return
+	}
+	cfgs, err := req.Configs()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	for i := range cfgs {
+		if err := s.prepare(&cfgs[i]); err != nil {
+			s.writeError(w, err)
+			return
+		}
+	}
+	// Admission is decided once for the whole sweep: if the queue is
+	// already full, bounce now rather than half-queueing a batch.
+	if s.pool.QueueDepth() >= s.pool.Capacity() {
+		s.writeError(w, ErrOverloaded)
+		return
+	}
+	outcomes := make([]sweepOutcome, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key, cacheable := experiments.ConfigKey(cfg)
+			compute := func() ([]byte, error) {
+				res, err := s.executeQueued(r.Context(), cfg)
+				if err != nil {
+					return nil, err
+				}
+				return json.Marshal(runBody{Key: key, Result: res})
+			}
+			var body []byte
+			var err error
+			if cacheable {
+				body, _, err = s.cache.Do(key, compute)
+			} else {
+				body, err = compute()
+			}
+			if err != nil {
+				outcomes[i] = sweepOutcome{Index: i, Error: err.Error()}
+				return
+			}
+			outcomes[i] = sweepOutcome{Index: i, Run: body}
+		}()
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, sweepBody{Count: len(outcomes), Outcomes: outcomes})
+}
+
+// experimentBody is the cached response of one named experiment.
+type experimentBody struct {
+	ID    string            `json:"id"`
+	Table experiments.Table `json:"table"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.met.request("experiment")
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{"draining"})
+		return
+	}
+	id := r.PathValue("id")
+	builder, err := experiments.Get(id)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		return
+	}
+	// Experiments are identified by ID, not content: the table is a pure
+	// function of the ID for the lifetime of the process.
+	body, outcome, err := s.cache.Do("experiment/"+id, func() ([]byte, error) {
+		type out struct {
+			tab experiments.Table
+			err error
+		}
+		ch := make(chan out, 1)
+		task := func() {
+			t0 := time.Now()
+			var o out
+			o.err = campaign.Protect(int(s.runSeq.Add(1)), func() error {
+				var err error
+				o.tab, err = builder()
+				return err
+			})
+			s.met.observeRun(time.Since(t0), o.err)
+			ch <- o
+		}
+		if !s.pool.TrySubmit(task) {
+			return nil, ErrOverloaded
+		}
+		o := <-ch
+		if o.err != nil {
+			return nil, o.err
+		}
+		return json.Marshal(experimentBody{ID: id, Table: o.tab})
+	})
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dvfsd-Cache", string(outcome))
+	w.Write(body)
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, r *http.Request) {
+	s.met.request("experiment-list")
+	writeJSON(w, http.StatusOK, struct {
+		IDs []string `json:"ids"`
+	}{experiments.IDs()})
+}
+
+// handleCatalog serves the built-in catalogs so clients can discover the
+// names RunRequest accepts.
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	s.met.request("catalog")
+	type catalog struct {
+		Devices   []string `json:"devices"`
+		Governors []string `json:"governors"`
+		Titles    []string `json:"titles"`
+		Rungs     []string `json:"rungs"`
+		ABRs      []string `json:"abrs"`
+		Nets      []string `json:"nets"`
+	}
+	var c catalog
+	for _, d := range cpu.Devices() {
+		c.Devices = append(c.Devices, d.Name)
+	}
+	for _, g := range experiments.GovernorIDs() {
+		c.Governors = append(c.Governors, string(g))
+	}
+	for _, t := range video.Titles() {
+		c.Titles = append(c.Titles, t.Name)
+	}
+	for _, res := range video.Resolutions() {
+		c.Rungs = append(c.Rungs, res.Name)
+	}
+	for _, a := range experiments.ABRIDs() {
+		c.ABRs = append(c.ABRs, string(a))
+	}
+	for _, n := range experiments.NetKinds() {
+		c.Nets = append(c.Nets, string(n))
+	}
+	writeJSON(w, http.StatusOK, c)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status string `json:"status"`
+		}{"draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+	}{"ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	s.met.render(&b, s.pool.QueueDepth(), s.pool.Capacity(), s.pool.Active(), s.pool.Workers(), s.cache.Stats())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Write([]byte(b.String()))
+}
+
+// writeDecodeError distinguishes an oversized body (413) from a
+// malformed one (400).
+func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{err.Error()})
+		return
+	}
+	s.writeError(w, err)
+}

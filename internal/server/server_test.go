@@ -1,0 +1,636 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/sim"
+)
+
+// newTestServer starts a service over httptest. Tests that need scripted
+// runs pass a Runner; nil uses the real simulator.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func decodeRunBody(t *testing.T, b []byte) (string, experiments.RunResult) {
+	t.Helper()
+	var body struct {
+		Key    string                `json:"key"`
+		Result experiments.RunResult `json:"result"`
+	}
+	if err := json.Unmarshal(b, &body); err != nil {
+		t.Fatalf("decoding run body: %v\n%s", err, b)
+	}
+	return body.Key, body.Result
+}
+
+// The service must serve exactly what the library computes: a run round-
+// tripped through HTTP/JSON is DeepEqual to the direct Run result.
+func TestRunRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/run", `{"duration_s": 10, "seed": 3}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	if got := resp.Header.Get("X-Dvfsd-Cache"); got != "miss" {
+		t.Fatalf("first request cache header = %q, want miss", got)
+	}
+	key, served := decodeRunBody(t, readAll(t, resp))
+
+	cfg := experiments.DefaultRunConfig()
+	cfg.Duration = 10 * sim.Second
+	cfg.Seed = 3
+	direct, err := experiments.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(served, direct) {
+		t.Fatalf("served result drifted from direct Run:\nserved: %+v\ndirect: %+v", served, direct)
+	}
+	cfg.Horizon = cfg.Duration*6 + 60*sim.Second // the horizon the server pins
+	wantKey, _ := experiments.ConfigKey(cfg)
+	if key != wantKey {
+		t.Fatalf("served key %s, want canonical %s", key, wantKey)
+	}
+}
+
+// A cache hit must be byte-identical to the miss that populated it.
+func TestCacheHitByteIdentical(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const body = `{"duration_s": 8, "seed": 11}`
+	first := postJSON(t, ts.URL+"/v1/run", body)
+	firstBytes := readAll(t, first)
+	second := postJSON(t, ts.URL+"/v1/run", body)
+	secondBytes := readAll(t, second)
+	if got := second.Header.Get("X-Dvfsd-Cache"); got != "hit" {
+		t.Fatalf("second request cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(firstBytes, secondBytes) {
+		t.Fatalf("cache hit body differs from the miss:\nmiss: %s\nhit:  %s", firstBytes, secondBytes)
+	}
+	if hits, _, _ := s.CacheStats(); hits != 1 {
+		t.Fatalf("cache hits = %d, want 1", hits)
+	}
+	// The same config phrased differently (explicit defaults) must hit
+	// the same content-addressed entry.
+	third := postJSON(t, ts.URL+"/v1/run", `{"duration_s": 8, "seed": 11, "governor": "energyaware", "rung": "720p"}`)
+	thirdBytes := readAll(t, third)
+	if got := third.Header.Get("X-Dvfsd-Cache"); got != "hit" {
+		t.Fatalf("equivalent request cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(firstBytes, thirdBytes) {
+		t.Fatal("equivalent config served different bytes")
+	}
+}
+
+// N identical concurrent requests must coalesce into one simulation.
+func TestSingleflightCoalesces(t *testing.T) {
+	var ran atomic.Int64
+	gate := make(chan struct{})
+	s, ts := newTestServer(t, Config{
+		Workers: 4,
+		Runner: func(cfg experiments.RunConfig) (experiments.RunResult, error) {
+			ran.Add(1)
+			<-gate
+			return experiments.RunResult{Governor: string(cfg.Governor), SimEnd: cfg.Duration}, nil
+		},
+	})
+	const clients = 8
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(`{"duration_s": 5}`))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}()
+	}
+	// Release only once every client is accounted for at the cache — one
+	// leader (miss) plus seven coalesced followers — so no follower can
+	// arrive late and be served as a plain hit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, misses, coalesced := s.CacheStats()
+		if misses+coalesced == clients {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clients never converged on one flight: misses=%d coalesced=%d", misses, coalesced)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("runner executed %d times for %d identical requests, want 1", got, clients)
+	}
+	_, misses, coalesced := s.CacheStats()
+	if misses != 1 || coalesced != int64(clients-1) {
+		t.Fatalf("cache stats: misses=%d coalesced=%d, want 1 and %d", misses, coalesced, clients-1)
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("client %d got different bytes than client 0", i)
+		}
+	}
+	// The coalescing must be observable on /metrics too.
+	metrics := readAll(t, mustGet(t, ts.URL+"/metrics"))
+	if !strings.Contains(string(metrics), "dvfsd_cache_coalesced_total 7") {
+		t.Fatalf("metrics missing coalesced counter:\n%s", metrics)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// A full queue must bounce with 429 + Retry-After, not block or drop.
+func TestQueueFull429(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 16)
+	_, ts := newTestServer(t, Config{
+		Workers: 1,
+		Queue:   1,
+		Runner: func(cfg experiments.RunConfig) (experiments.RunResult, error) {
+			started <- struct{}{}
+			<-gate
+			return experiments.RunResult{SimEnd: cfg.Duration}, nil
+		},
+	})
+	defer close(gate)
+
+	// Occupy the worker, then the single queue slot. Distinct seeds keep
+	// the requests from coalescing in the cache instead of queueing.
+	respc := make(chan *http.Response, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"duration_s": 5, "seed": %d}`, i+1)))
+			if err == nil {
+				respc <- resp
+			}
+		}()
+	}
+	<-started // worker busy
+	// Wait (via /metrics, like an operator would) for the second request
+	// to be parked in the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m := string(readAll(t, mustGet(t, ts.URL+"/metrics"))); strings.Contains(m, "dvfsd_queue_depth 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second request never reached the queue")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp := postJSON(t, ts.URL+"/v1/run", `{"duration_s": 5, "seed": 99}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full-queue request got %d, want 429: %s", resp.StatusCode, readAll(t, resp))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var eb errorBody
+	if err := json.Unmarshal(readAll(t, resp), &eb); err != nil || eb.Error == "" {
+		t.Fatalf("429 body not an error JSON: %v", err)
+	}
+}
+
+// Shutdown must drain: an accepted run completes and its client gets a
+// 200 even though the server started draining mid-run.
+func TestShutdownDrains(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+	s := New(Config{
+		Workers: 1,
+		Runner: func(cfg experiments.RunConfig) (experiments.RunResult, error) {
+			once.Do(func() { close(started) })
+			<-gate
+			return experiments.RunResult{Governor: "drained", SimEnd: cfg.Duration}, nil
+		},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	respc := make(chan *http.Response, 1)
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/run", "application/json", strings.NewReader(`{"duration_s": 5}`))
+		if err != nil {
+			errc <- err
+			return
+		}
+		respc <- resp
+	}()
+	<-started
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// While draining, new work must be refused…
+	time.Sleep(20 * time.Millisecond)
+	if resp := postJSON(t, ts.URL+"/v1/run", `{"duration_s": 5, "seed": 2}`); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain got %d, want 503", resp.StatusCode)
+	} else {
+		readAll(t, resp)
+	}
+	if resp := mustGet(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain got %d, want 503", resp.StatusCode)
+	} else {
+		readAll(t, resp)
+	}
+
+	// …and the accepted run must still finish.
+	select {
+	case <-shutdownDone:
+		t.Fatal("Shutdown returned while a run was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gate)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	select {
+	case err := <-errc:
+		t.Fatalf("drained client failed: %v", err)
+	case resp := <-respc:
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("drained run got status %d", resp.StatusCode)
+		}
+		_, res := decodeRunBody(t, readAll(t, resp))
+		if res.Governor != "drained" {
+			t.Fatalf("drained run result corrupted: %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("accepted run's response never arrived")
+	}
+}
+
+// Concurrent mixed clients under -race: identical configs must produce
+// identical bytes, every request must succeed, and the hit ratio must be
+// visible on /metrics.
+func TestConcurrentClientsHammer(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, Queue: 64})
+	const clients = 24
+	type got struct {
+		seed int
+		body []byte
+	}
+	results := make([]got, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			seed := i%3 + 1 // three distinct configs, heavily repeated
+			resp, err := http.Post(ts.URL+"/v1/run", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"duration_s": 6, "seed": %d}`, seed)))
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				t.Errorf("client %d: status %d: %s", i, resp.StatusCode, b)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			results[i] = got{seed, body}
+		}()
+	}
+	wg.Wait()
+	bySeed := map[int][]byte{}
+	for i, r := range results {
+		if r.body == nil {
+			t.Fatalf("client %d got no body", i)
+		}
+		if prev, ok := bySeed[r.seed]; ok {
+			if !bytes.Equal(prev, r.body) {
+				t.Fatalf("seed %d served two different bodies", r.seed)
+			}
+		} else {
+			bySeed[r.seed] = r.body
+		}
+	}
+	// Every duplicate was served without a fresh simulation: either as a
+	// plain hit or by coalescing onto the in-flight leader. (Under full
+	// concurrency all duplicates may coalesce, so hits alone can be 0
+	// here.)
+	if hits, misses, coalesced := s.CacheStats(); misses != 3 || hits+coalesced != clients-3 {
+		t.Fatalf("hammer stats hits=%d misses=%d coalesced=%d, want 3 misses and %d hits+coalesced",
+			hits, misses, coalesced, clients-3)
+	}
+
+	// Now that the flights have landed, a repeat of each config must be a
+	// plain memory hit, and /metrics must report a positive hit ratio.
+	for seed := 1; seed <= 3; seed++ {
+		resp := postJSON(t, ts.URL+"/v1/run", fmt.Sprintf(`{"duration_s": 6, "seed": %d}`, seed))
+		body := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-hammer seed %d: status %d: %s", seed, resp.StatusCode, body)
+		}
+		if c := resp.Header.Get("X-Dvfsd-Cache"); c != "hit" {
+			t.Fatalf("post-hammer seed %d: cache status %q, want hit", seed, c)
+		}
+		if !bytes.Equal(body, bySeed[seed]) {
+			t.Fatalf("post-hammer seed %d served a different body than the hammer", seed)
+		}
+	}
+	metrics := string(readAll(t, mustGet(t, ts.URL+"/metrics")))
+	var ratio float64
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "dvfsd_cache_hit_ratio ") {
+			fmt.Sscanf(line, "dvfsd_cache_hit_ratio %g", &ratio)
+		}
+	}
+	if ratio <= 0 {
+		t.Fatalf("hammer of repeated configs reported hit ratio %v, want > 0:\n%s", ratio, metrics)
+	}
+}
+
+// The sweep endpoint must serve the same results as the direct batch
+// path, in expansion order, sharing cache entries with /v1/run.
+func TestSweepRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/sweep",
+		`{"base": {"duration_s": 6}, "governors": ["performance", "energyaware"], "seed_range": [1, 2]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var body struct {
+		Count    int `json:"count"`
+		Outcomes []struct {
+			Index int             `json:"index"`
+			Run   json.RawMessage `json:"run"`
+			Error string          `json:"error"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Count != 4 || len(body.Outcomes) != 4 {
+		t.Fatalf("sweep returned %d outcomes, want 4", body.Count)
+	}
+
+	base := experiments.DefaultRunConfig()
+	base.Duration = 6 * sim.Second
+	sw := experiments.Sweep{
+		Base:      base,
+		Governors: []experiments.GovernorID{experiments.GovPerformance, experiments.GovEnergyAware},
+		Seeds:     []int64{1, 2},
+	}
+	direct := experiments.RunAll(sw.Expand(), 2)
+	for i, o := range body.Outcomes {
+		if o.Error != "" {
+			t.Fatalf("outcome %d failed: %s", i, o.Error)
+		}
+		if o.Index != i {
+			t.Fatalf("outcome %d carries index %d — order lost", i, o.Index)
+		}
+		var rb struct {
+			Result experiments.RunResult `json:"result"`
+		}
+		if err := json.Unmarshal(o.Run, &rb); err != nil {
+			t.Fatal(err)
+		}
+		if direct[i].Err != nil {
+			t.Fatalf("direct run %d: %v", i, direct[i].Err)
+		}
+		if !reflect.DeepEqual(rb.Result, direct[i].Result) {
+			t.Fatalf("sweep point %d drifted from the direct campaign path:\nserved: %+v\ndirect: %+v",
+				i, rb.Result, direct[i].Result)
+		}
+	}
+	// A single run of one sweep point must now be a cache hit — the two
+	// endpoints share the content-addressed store.
+	single := postJSON(t, ts.URL+"/v1/run", `{"duration_s": 6, "governor": "performance", "seed": 2}`)
+	if got := single.Header.Get("X-Dvfsd-Cache"); got != "hit" {
+		t.Fatalf("run after sweep cache header = %q, want hit", got)
+	}
+	readAll(t, single)
+}
+
+// For a sample of experiment IDs, the table served by the daemon must be
+// DeepEqual to the one the direct campaign.RunAll-backed builder
+// produces — no drift between service and CLI.
+func TestExperimentCrossCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs five full experiment builders")
+	}
+	_, ts := newTestServer(t, Config{})
+	for _, id := range []string{"t1", "f1", "f3", "f7", "t4"} {
+		resp := postJSON(t, ts.URL+"/v1/experiments/"+id, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", id, resp.StatusCode, readAll(t, resp))
+		}
+		var body struct {
+			ID    string            `json:"id"`
+			Table experiments.Table `json:"table"`
+		}
+		if err := json.Unmarshal(readAll(t, resp), &body); err != nil {
+			t.Fatal(err)
+		}
+		builder, err := experiments.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := builder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(body.Table, direct) {
+			t.Fatalf("experiment %s drifted between service and direct path:\nserved: %+v\ndirect: %+v",
+				id, body.Table, direct)
+		}
+	}
+}
+
+// The trace mode must stream the run's JSONL events and close with a
+// result line carrying the same outcome as an untraced run.
+func TestRunTraceStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/run?trace=jsonl", `{"duration_s": 5}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := bytes.Split(bytes.TrimSpace(readAll(t, resp)), []byte("\n"))
+	if len(lines) < 100 {
+		t.Fatalf("trace stream has only %d lines", len(lines))
+	}
+	for i, ln := range lines {
+		if !json.Valid(ln) {
+			t.Fatalf("line %d is not valid JSON: %s", i, ln)
+		}
+	}
+	var final struct {
+		Ev     string                `json:"ev"`
+		Result experiments.RunResult `json:"result"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Ev != "result" || !final.Result.QoE.Completed {
+		t.Fatalf("final trace line is not a completed result: %s", lines[len(lines)-1])
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 2048})
+	cases := []struct {
+		name, path, body string
+		wantStatus       int
+	}{
+		{"malformed JSON", "/v1/run", `{"duration`, http.StatusBadRequest},
+		{"unknown field", "/v1/run", `{"durations": 5}`, http.StatusBadRequest},
+		{"trailing garbage", "/v1/run", `{} {}`, http.StatusBadRequest},
+		{"unknown governor", "/v1/run", `{"governor": "warpdrive"}`, http.StatusBadRequest},
+		{"unknown device", "/v1/run", `{"device": "mainframe"}`, http.StatusBadRequest},
+		{"unknown net", "/v1/run", `{"net": "5g"}`, http.StatusBadRequest},
+		{"negative duration", "/v1/run", `{"duration_s": -3}`, http.StatusBadRequest},
+		{"over duration cap", "/v1/run", `{"duration_s": 1e9}`, http.StatusBadRequest},
+		{"unknown trace mode", "/v1/run?trace=csv", `{}`, http.StatusBadRequest},
+		{"oversized body", "/v1/run", `{"codec": "` + strings.Repeat("x", 4096) + `"}`, http.StatusRequestEntityTooLarge},
+		{"sweep seeds conflict", "/v1/sweep", `{"base": {}, "seeds": [1], "seed_range": [1, 2]}`, http.StatusBadRequest},
+		{"sweep too large", "/v1/sweep", `{"base": {}, "seed_range": [1, 100000]}`, http.StatusBadRequest},
+		{"unknown experiment", "/v1/experiments/zz", ``, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+tc.path, tc.body)
+		b := readAll(t, resp)
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.wantStatus, b)
+			continue
+		}
+		var eb errorBody
+		if err := json.Unmarshal(b, &eb); err != nil || eb.Error == "" {
+			t.Errorf("%s: body is not an error JSON: %s", tc.name, b)
+		}
+	}
+}
+
+// A request whose scenario cannot complete within its horizon is a 422,
+// not a 500 — the simulation worked, the scenario starved.
+func TestHorizonExceeded422(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/run", `{"duration_s": 30, "horizon_s": 5}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, readAll(t, resp))
+	}
+	readAll(t, resp)
+}
+
+func TestHealthAndCatalog(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := mustGet(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+
+	resp = mustGet(t, ts.URL+"/v1/catalog")
+	var cat struct {
+		Devices   []string `json:"devices"`
+		Governors []string `json:"governors"`
+		Nets      []string `json:"nets"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &cat); err != nil {
+		t.Fatal(err)
+	}
+	if len(cat.Devices) != 3 || len(cat.Governors) != 8 || len(cat.Nets) != 4 {
+		t.Fatalf("catalog incomplete: %+v", cat)
+	}
+
+	resp = mustGet(t, ts.URL+"/v1/experiments")
+	var ids struct {
+		IDs []string `json:"ids"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &ids); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids.IDs) != 28 {
+		t.Fatalf("experiment list has %d IDs, want 28", len(ids.IDs))
+	}
+}
+
+func TestMetricsShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	readAll(t, postJSON(t, ts.URL+"/v1/run", `{"duration_s": 5}`))
+	body := string(readAll(t, mustGet(t, ts.URL+"/metrics")))
+	for _, want := range []string{
+		"dvfsd_uptime_seconds ",
+		`dvfsd_requests_total{endpoint="run"} 1`,
+		"dvfsd_queue_depth ",
+		"dvfsd_runs_total 1",
+		"dvfsd_runs_per_sec ",
+		`dvfsd_run_latency_seconds{quantile="0.5"} `,
+		`dvfsd_run_latency_seconds{quantile="0.99"} `,
+		"dvfsd_cache_misses_total 1",
+		"dvfsd_cache_hit_ratio ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

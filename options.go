@@ -67,3 +67,8 @@ func WithBackground(on bool) Option { return func(c *RunConfig) { c.Background =
 
 // WithFrameTrace replays an exact frame stream instead of generating one.
 func WithFrameTrace(s *Stream) Option { return func(c *RunConfig) { c.Trace = s } }
+
+// WithHorizon caps the run's virtual time; a session still incomplete at
+// the cap makes Run fail with ErrHorizonExceeded. dvfsd uses the same
+// mechanism as its per-request timeout.
+func WithHorizon(h Time) Option { return func(c *RunConfig) { c.Horizon = h } }

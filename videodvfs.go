@@ -242,6 +242,18 @@ func RunCluster(res Resolution, dur Time, seed int64, clusterAware bool) (Cluste
 	return experiments.RunCluster(res, dur, seed, clusterAware)
 }
 
+// ConfigKey returns the hex SHA-256 content address of cfg's canonical
+// serialization — the identity dvfsd's result cache stores runs under
+// (DESIGN.md §9). Two configs share a key iff Run would produce the same
+// result for both. The second return is false for uncacheable configs
+// (a frame Trace, an OnSample callback, or a Tracer attached).
+func ConfigKey(cfg RunConfig) (string, bool) { return experiments.ConfigKey(cfg) }
+
+// CanonicalConfig returns the deterministic byte serialization that
+// ConfigKey hashes, for debugging cache identity: one key=value line per
+// result-determining field, in a fixed order.
+func CanonicalConfig(cfg RunConfig) ([]byte, bool) { return experiments.CanonicalConfig(cfg) }
+
 // ExperimentIDs lists the reproducible tables and figures in report order.
 func ExperimentIDs() []string { return experiments.IDs() }
 

@@ -110,9 +110,73 @@ func TestFacadeSessionOptions(t *testing.T) {
 		cfg.Duration != 30*Second || cfg.Seed != 7 {
 		t.Fatalf("options not applied: %+v", cfg)
 	}
-	// No options → exactly the default session.
+	// Any session built purely from options must pass validation.
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("option-built session fails Validate: %v", err)
+	}
+	if cfg := NewSession(WithHorizon(5 * Minute)); cfg.Horizon != 5*Minute {
+		t.Fatalf("WithHorizon not applied: %+v", cfg)
+	}
+	// No options → exactly the default session, which validates.
 	if !reflect.DeepEqual(NewSession(), DefaultSession()) {
 		t.Fatal("NewSession() should equal DefaultSession()")
+	}
+	if err := DefaultSession().Validate(); err != nil {
+		t.Fatalf("default session fails Validate: %v", err)
+	}
+}
+
+// Validate must reject each malformed knob with an error wrapping
+// ErrInvalidConfig, before Run builds any simulation state.
+func TestFacadeValidateRejections(t *testing.T) {
+	cases := map[string]RunConfig{
+		"unknown governor": NewSession(WithGovernor("warpdrive")),
+		"unknown abr":      NewSession(WithABR("mpc")),
+		"unknown net":      NewSession(WithNet("carrier-pigeon")),
+		"zero duration":    NewSession(WithDuration(0)),
+		"negative dur":     NewSession(WithDuration(-10 * Second)),
+	}
+	for name, cfg := range cases {
+		err := cfg.Validate()
+		if !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: Validate = %v, want ErrInvalidConfig", name, err)
+		}
+		// Run must agree with Validate — same sentinel, no partial work.
+		if _, err := Run(cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: Run = %v, want ErrInvalidConfig", name, err)
+		}
+	}
+	// Parse-level sentinels stay distinguishable through the wrap.
+	if err := NewSession(WithGovernor("warpdrive")).Validate(); !errors.Is(err, ErrUnknownGovernor) {
+		t.Errorf("governor rejection lost ErrUnknownGovernor: %v", err)
+	}
+	if err := NewSession(WithABR("mpc")).Validate(); !errors.Is(err, ErrUnknownABR) {
+		t.Errorf("abr rejection lost ErrUnknownABR: %v", err)
+	}
+}
+
+// ConfigKey/CanonicalConfig are the daemon's cache identity (DESIGN.md
+// §9): stable across calls, sensitive to every knob, refused when the
+// config carries callbacks.
+func TestFacadeConfigKey(t *testing.T) {
+	a, ok := ConfigKey(DefaultSession())
+	if !ok || len(a) != 64 {
+		t.Fatalf("ConfigKey = %q, %v", a, ok)
+	}
+	if b, _ := ConfigKey(DefaultSession()); b != a {
+		t.Fatalf("key unstable: %q vs %q", a, b)
+	}
+	if c, _ := ConfigKey(NewSession(WithSeed(2))); c == a {
+		t.Fatal("seed change did not change the key")
+	}
+	canon, _ := CanonicalConfig(DefaultSession())
+	if len(canon) == 0 {
+		t.Fatal("canonical form empty")
+	}
+	cfg := DefaultSession()
+	cfg.OnSample = func(Time, float64, float64, float64) {}
+	if _, ok := ConfigKey(cfg); ok {
+		t.Fatal("config with a callback reported cacheable")
 	}
 }
 
