@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test alloc-budget fuzz-short golden trace-golden bench bench-compare bench-baseline profile
+.PHONY: check vet build test alloc-budget fuzz-short strict golden trace-golden bench bench-compare bench-baseline profile
 
 # The full gate: vet, build, race-enabled tests (includes the golden
 # regression suite and the parallel/serial equivalence test), and the
@@ -30,7 +30,15 @@ fuzz-short:
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzParseGovernorID$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzParseABRID$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzRunConfigValidate$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzRunConfigInvariants$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDecodeRunRequest$$' -fuzztime $(FUZZTIME)
+
+# Rebuild the full 28-experiment evaluation with the invariant checker
+# riding every simulation (DESIGN.md §10). Exits non-zero on the first
+# conservation-law breach; output is discarded — the audit is the point.
+strict:
+	$(GO) run ./cmd/exprun -strict > /dev/null
+	@echo "strict: all experiments passed with invariants armed"
 
 # Regenerate the pinned experiment outputs after an intended model
 # change, then review the diff like any other code change.

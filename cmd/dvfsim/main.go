@@ -52,6 +52,7 @@ func run(args []string) error {
 		lowWater     = fs.Float64("lowwater", 0, "burst-prefetch low-water mark in seconds (0 = trickle)")
 		fastDorm     = fs.Bool("fastdormancy", false, "release the radio immediately after each burst")
 		noBackground = fs.Bool("nobackground", false, "disable the UI/OS background load")
+		strict       = fs.Bool("strict", false, "audit the run against the simulator's invariants; any breach fails the run")
 		tracePath    = fs.String("videotrace", "", "replay a CSV frame trace (from tracegen) instead of generating one")
 		traceOut     = fs.String("trace", "", "write the run's structured event stream as JSONL to this file ('-' = stdout)")
 		jsonOut      = fs.Bool("json", false, "emit the result as JSON instead of the text report")
@@ -83,6 +84,7 @@ func run(args []string) error {
 	cfg.DecodedQueueCap = *queueCap
 	cfg.LowWaterSec = *lowWater
 	cfg.Background = !*noBackground
+	cfg.Strict = *strict
 
 	if cfg.Device, err = videodvfs.DeviceByName(*device); err != nil {
 		return err

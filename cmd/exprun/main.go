@@ -46,6 +46,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "experiments built concurrently (each batches its own runs internally)")
 		progress = fs.Bool("progress", false, "print campaign progress to stderr")
 		traceDir = fs.String("trace-dir", "", "write one JSONL event trace per simulation run into this directory")
+		strict   = fs.Bool("strict", false, "audit every simulation run against the simulator's invariants; any breach fails its experiment")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile (after the campaign) to this file")
 	)
@@ -57,6 +58,11 @@ func run(args []string) error {
 		return err
 	}
 	defer stopProf()
+	if *strict {
+		// Experiments build their RunConfigs internally, so strict mode is
+		// armed process-wide rather than per-config.
+		defer experiments.SetStrictDefault(experiments.SetStrictDefault(true))
+	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			return err

@@ -21,8 +21,23 @@ var ErrPoolClosed = errors.New("campaign: pool closed")
 // Tasks run under the same panic discipline as Do: a panicking task never
 // kills its worker. Tasks that need the panic as a value wrap their body
 // in Protect themselves.
+// submission wraps a queued task so a sender that lost the close race can
+// retract it after the send: the sender and the workers race for the
+// claim with one CAS, so the task either runs exactly once or provably
+// never runs.
+type submission struct {
+	task  func()
+	state atomic.Int32 // subQueued until claimed or retracted
+}
+
+const (
+	subQueued    int32 = iota // in the channel, up for grabs
+	subClaimed                // a worker owns it and will run it
+	subRetracted              // the sender withdrew it; workers skip it
+)
+
 type Pool struct {
-	tasks   chan func()
+	tasks   chan *submission
 	closing chan struct{}
 	wg      sync.WaitGroup // workers
 	senders sync.WaitGroup // blocked SubmitCtx calls
@@ -33,6 +48,12 @@ type Pool struct {
 
 	mu     sync.Mutex
 	closed bool
+
+	// submitGate, when set (tests only), runs after a SubmitCtx call
+	// registers as a sender and before it reaches the send — the window
+	// where Close can slip in. It lets the race test hold that window
+	// open deterministically instead of praying for a preemption.
+	submitGate func()
 }
 
 // NewPool starts a pool of workers (≤0 = GOMAXPROCS) over a queue holding
@@ -45,7 +66,7 @@ func NewPool(workers, queue int) *Pool {
 		queue = 2 * workers
 	}
 	p := &Pool{
-		tasks:   make(chan func(), queue),
+		tasks:   make(chan *submission, queue),
 		closing: make(chan struct{}),
 		workers: workers,
 	}
@@ -58,10 +79,13 @@ func NewPool(workers, queue int) *Pool {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	for task := range p.tasks {
+	for s := range p.tasks {
+		if !s.state.CompareAndSwap(subQueued, subClaimed) {
+			continue // retracted by a sender that lost the close race
+		}
 		p.queued.Add(-1)
 		p.active.Add(1)
-		p.run(task)
+		p.run(s.task)
 		p.active.Add(-1)
 		p.done.Add(1)
 	}
@@ -84,7 +108,7 @@ func (p *Pool) TrySubmit(task func()) bool {
 		return false
 	}
 	select {
-	case p.tasks <- task:
+	case p.tasks <- &submission{task: task}:
 		p.queued.Add(1)
 		return true
 	default:
@@ -107,10 +131,30 @@ func (p *Pool) SubmitCtx(ctx context.Context, task func()) error {
 	p.senders.Add(1)
 	p.mu.Unlock()
 	defer p.senders.Done()
+	if p.submitGate != nil {
+		p.submitGate()
+	}
+	s := &submission{task: task}
 	select {
-	case p.tasks <- task:
-		p.queued.Add(1)
-		return nil
+	case p.tasks <- s:
+		// Go's select picks uniformly among ready cases, so a sender
+		// blocked here can win the send even when Close already closed
+		// p.closing — which would admit a task after "further
+		// submissions fail" took effect. Re-check closing with priority
+		// and retract the submission if Close got there first; the CAS
+		// settles the race with any worker that grabbed it meanwhile.
+		select {
+		case <-p.closing:
+			if s.state.CompareAndSwap(subQueued, subRetracted) {
+				p.queued.Add(-1)
+				return ErrPoolClosed
+			}
+			// A worker claimed it before Close's barrier: the task runs,
+			// so the submission linearizes before the close.
+			return nil
+		default:
+			return nil
+		}
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-p.closing:

@@ -154,3 +154,41 @@ func TestProtectConvertsPanic(t *testing.T) {
 		t.Fatalf("Protect swallowed a plain error: %v", err)
 	}
 }
+
+// TestPoolSubmitCtxNeverAdmitsAfterCloseBegan pins the admission race:
+// a select's first poll picks uniformly among ready cases, so a
+// SubmitCtx call that reached the send with queue space free after Close
+// had already closed p.closing could win the send case and admit a task
+// after "further submissions fail" took effect. The submitGate hook
+// holds that window open deterministically: the sender is registered but
+// has not reached the select when Close completes, so any nil return (or
+// any execution of the task) is the bug. Pre-fix this fails within a few
+// of the 64 iterations; post-fix the retraction makes it deterministic.
+func TestPoolSubmitCtxNeverAdmitsAfterCloseBegan(t *testing.T) {
+	for i := 0; i < 64; i++ {
+		p := NewPool(1, 4) // queue space free: the send case is ready
+		atGate := make(chan struct{})
+		goahead := make(chan struct{})
+		p.submitGate = func() { close(atGate); <-goahead }
+
+		var late atomic.Bool
+		errc := make(chan error, 1)
+		go func() {
+			errc <- p.SubmitCtx(context.Background(), func() { late.Store(true) })
+		}()
+		<-atGate // the sender is registered, not yet at the select
+
+		closed := make(chan struct{})
+		go func() { p.Close(); close(closed) }()
+		<-p.closing    // Close has begun: the submission must now fail
+		close(goahead) // release the sender into the racy select
+
+		if err := <-errc; !errors.Is(err, ErrPoolClosed) {
+			t.Fatalf("iter %d: SubmitCtx after Close began = %v, want ErrPoolClosed", i, err)
+		}
+		<-closed
+		if late.Load() {
+			t.Fatalf("iter %d: task admitted after Close began was executed", i)
+		}
+	}
+}

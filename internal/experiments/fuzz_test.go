@@ -2,9 +2,13 @@ package experiments
 
 import (
 	"errors"
+	"math"
 	"testing"
 
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/invariant"
 	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
 )
 
 // FuzzParseGovernorID asserts the parser total: any input either yields
@@ -100,5 +104,69 @@ func FuzzRunConfigValidate(f *testing.F) {
 		if k1 != k2 || len(k1) != 64 {
 			t.Fatalf("cache key unstable or malformed: %q vs %q", k1, k2)
 		}
+	})
+}
+
+// FuzzRunConfigInvariants runs whole simulations with the invariant
+// checker armed over fuzzed RunConfig fields. The property: for any
+// config, Run either rejects it up front (ErrInvalidConfig), reports the
+// horizon cut (ErrHorizonExceeded), or completes with every conservation
+// law intact — a *invariant.Violation (or any other error) is a real
+// model bug. The seed corpus is the energy-closure stress matrix
+// (stressConfigs): every device × the highest-variability title.
+func FuzzRunConfigInvariants(f *testing.F) {
+	for i, dev := 0, len(cpu.Devices()); i < dev; i++ {
+		for j, nets := 0, []NetKind{NetConst8, NetLTE, NetUMTS}; j < len(nets); j++ {
+			f.Add(i, (i+j)%3, 0, j, int64(3000), int64(1+i*3+j),
+				0, 0.0, int64(0), 0.0, (i+j)%2 == 0, false, true)
+		}
+	}
+	// Hand-picked corners: low-latency ladder ABR, burst prefetch,
+	// fractional fps, sub-second segments.
+	f.Add(0, 0, 2, 1, int64(4500), int64(99), 3, 2.5, int64(800), 25.0, true, true, true)
+	f.Add(2, 1, 1, 2, int64(900), int64(-7), 16, 0.5, int64(250), 23.976, false, true, false)
+	govs := GovernorIDs()
+	abrs := ABRIDs()
+	nets := NetKinds()
+	titles := video.Titles()
+	devices := cpu.Devices()
+	f.Fuzz(func(t *testing.T, devI, govI, abrI, netI int, durMs, seed int64,
+		queueCap int, lowWater float64, segMs int64, fps float64,
+		cstates, lowlat, bg bool) {
+		pick := func(i, n int) int { return ((i % n) + n) % n }
+		cfg := RunConfig{
+			Device:   devices[pick(devI, len(devices))],
+			Governor: govs[pick(govI, len(govs))],
+			Title:    titles[pick(devI+govI, len(titles))],
+			ABR:      abrs[pick(abrI, len(abrs))],
+			Net:      nets[pick(netI, len(nets))],
+			// Clamp knobs that would only make runs slow or trip
+			// documented config errors, not invariants: durations into
+			// (0.1 s, 5 s], queue depth below 64, the low-water mark under
+			// the low-latency buffer cap. Everything else — fps, segment
+			// duration — reaches Validate raw.
+			Duration:        sim.Time(100+((durMs%4900)+4900)%4900) * sim.Millisecond,
+			Seed:            seed,
+			DecodedQueueCap: queueCap % 64,
+			LowWaterSec:     math.Mod(lowWater, 4),
+			SegmentDur:      sim.Time(segMs) * sim.Millisecond,
+			FPS:             fps,
+			CStates:         cstates,
+			LowLatency:      lowlat,
+			Background:      bg,
+			Strict:          true,
+		}
+		_, err := Run(cfg)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, ErrInvalidConfig) || errors.Is(err, ErrHorizonExceeded) {
+			return
+		}
+		var v *invariant.Violation
+		if errors.As(err, &v) {
+			t.Fatalf("invariant violated: %v (config %+v)", v, cfg)
+		}
+		t.Fatalf("unexpected error: %v (config %+v)", err, cfg)
 	})
 }

@@ -30,6 +30,11 @@ func TestGoldenTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden suite rebuilds the full evaluation")
 	}
+	// Run the whole evaluation with the invariant checker armed: beyond
+	// byte-identical output, every run must also satisfy the simulator's
+	// conservation laws (DESIGN.md §10). Strict mode only observes the
+	// event stream, so it cannot change the tables.
+	defer SetStrictDefault(SetStrictDefault(true))
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {

@@ -15,6 +15,7 @@ import (
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/energy"
 	"videodvfs/internal/governor"
+	"videodvfs/internal/invariant"
 	"videodvfs/internal/netsim"
 	"videodvfs/internal/player"
 	"videodvfs/internal/sim"
@@ -108,6 +109,12 @@ type RunConfig struct {
 	// changes, ABR switches, buffer levels, and per-component power. nil
 	// (the default) disables tracing with zero overhead on the hot path.
 	Tracer trace.Tracer
+	// Strict arms the invariant checker (internal/invariant): the run's
+	// event stream is audited against the simulator's conservation laws
+	// and any breach fails Run with a wrapped *invariant.Violation. Off by
+	// default — strict runs pay the tracing cost on the hot path, and
+	// their results are never served from the dvfsd cache (DESIGN.md §10).
+	Strict bool
 }
 
 // DefaultRunConfig returns the evaluation's base case: flagship device,
@@ -198,6 +205,39 @@ func (cfg RunConfig) Validate() error {
 	}
 	if math.IsNaN(float64(cfg.Horizon)) || math.IsInf(float64(cfg.Horizon), 0) {
 		return fmt.Errorf("experiments: %w: horizon %v not finite", ErrInvalidConfig, cfg.Horizon)
+	}
+	// Found by FuzzRunConfigInvariants: a NaN or negative FPS reaches
+	// video.Generate's frame-count conversion (int of NaN/negative is
+	// implementation-specific per the Go spec, and a negative count panics
+	// make), and the frame count scales as duration×fps, so an absurd FPS
+	// is the same unbounded-allocation DoS the duration cap already
+	// closes. 1000 fps is far beyond any real display pipeline.
+	if cfg.FPS != 0 && (math.IsNaN(cfg.FPS) || cfg.FPS < 1 || cfg.FPS > 1000) {
+		return fmt.Errorf("experiments: %w: fps %v outside [1, 1000]", ErrInvalidConfig, cfg.FPS)
+	}
+	// NaN here silently disables the prefetch hysteresis (every threshold
+	// comparison against NaN is false) instead of failing loudly.
+	if math.IsNaN(cfg.LowWaterSec) || math.IsInf(cfg.LowWaterSec, 0) || cfg.LowWaterSec < 0 {
+		return fmt.Errorf("experiments: %w: low-water mark %v not a finite non-negative second count",
+			ErrInvalidConfig, cfg.LowWaterSec)
+	}
+	// A non-finite segment duration poisons the per-segment frame count.
+	if math.IsNaN(float64(cfg.SegmentDur)) || math.IsInf(float64(cfg.SegmentDur), 0) || cfg.SegmentDur < 0 {
+		return fmt.Errorf("experiments: %w: segment duration %v not finite and non-negative",
+			ErrInvalidConfig, cfg.SegmentDur)
+	}
+	// Found by FuzzRunConfigInvariants: a duration×fps product below one
+	// frame generated an empty stream that only failed deep inside the
+	// player ("cannot segmentize empty stream") instead of up front.
+	if cfg.Trace == nil {
+		fps := cfg.FPS
+		if fps == 0 {
+			fps = 30
+		}
+		if cfg.Duration.Seconds()*fps < 1 {
+			return fmt.Errorf("experiments: %w: duration %v at %g fps yields no frames",
+				ErrInvalidConfig, cfg.Duration, fps)
+		}
 	}
 	return nil
 }
@@ -348,6 +388,30 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 // Callers distinguish it with errors.Is.
 var ErrHorizonExceeded = errors.New("simulation horizon exceeded")
 
+// newChecker builds the invariant checker; a test hook so the typed
+// violation path through Run can be exercised with a deliberately
+// mis-grounded checker (the model itself holds its invariants).
+var newChecker = invariant.New
+
+// buildChecker arms the invariant checker for strict runs (nil
+// otherwise), grounding it in the run's static truth: the device's OPP
+// table and, when the cpuidle model is on, the C-state ladder.
+func buildChecker(cfg RunConfig) *invariant.Checker {
+	if !cfg.Strict && !strictDefault() {
+		return nil
+	}
+	ic := invariant.Config{OPPFreqsHz: make([]float64, len(cfg.Device.OPPs))}
+	for i, o := range cfg.Device.OPPs {
+		ic.OPPFreqsHz[i] = o.FreqHz
+	}
+	if cfg.CStates {
+		for _, cs := range cpu.DefaultCStates() {
+			ic.CStateNames = append(ic.CStateNames, cs.Name)
+		}
+	}
+	return newChecker(ic)
+}
+
 // Run executes one simulation and returns its result. The config is
 // validated up front (see Validate); invalid configs fail with
 // ErrInvalidConfig before any simulation state is built.
@@ -373,6 +437,16 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if tr == nil {
 		if f := currentTraceFactory(); f != nil {
 			tr, closeTrace = f(cfg)
+		}
+	}
+	chk := buildChecker(cfg)
+	if chk != nil {
+		// The checker rides first in the tee; it only observes, so every
+		// downstream tracer sees the identical stream.
+		if tr == nil {
+			tr = chk
+		} else {
+			tr = trace.Tee{chk, tr}
 		}
 	}
 	closed := false
@@ -503,6 +577,32 @@ func Run(cfg RunConfig) (RunResult, error) {
 
 	if err := sess.Err(); err != nil {
 		return RunResult{}, fmt.Errorf("experiments: session: %w", err)
+	}
+	if chk != nil {
+		m := sess.Metrics()
+		counts := sess.Decoder().Counts()
+		rrcRes := make(map[string]sim.Time, 4)
+		for state, d := range radio.Residency() {
+			rrcRes[state.String()] = d
+		}
+		if v := chk.Finalize(invariant.Final{
+			End:           eng.Now(),
+			CPUJ:          meter.ComponentJ(energy.ComponentCPU),
+			RadioJ:        meter.ComponentJ(energy.ComponentRadio),
+			DisplayJ:      meter.ComponentJ(energy.ComponentDisplay),
+			FreqResidency: coreCPU.FreqResidency(),
+			RRCResidency:  rrcRes,
+			IdleResidency: coreCPU.IdleStateResidency(),
+			Displayed:     m.DisplayedFrames,
+			Dropped:       m.DroppedFrames,
+			Total:         m.TotalFrames,
+			Decoded:       counts.Decoded,
+			Discarded:     counts.Discarded,
+			ReadyLeft:     sess.Decoder().ReadyLen(),
+			Completed:     m.Completed,
+		}); v != nil {
+			return RunResult{}, fmt.Errorf("experiments: strict: %w", v)
+		}
 	}
 	if m := sess.Metrics(); !m.Completed && end >= horizon {
 		return RunResult{}, fmt.Errorf("experiments: %w: session at %d/%d frames when the %v horizon hit",

@@ -299,6 +299,20 @@ func (s *Server) runCached(cfg experiments.RunConfig) ([]byte, cacheOutcome, err
 
 // ---- handlers ----
 
+// strictParam parses the ?strict= query parameter shared by /run and
+// /sweep. Absent or "0"/"false" means off; "1"/"true" arms the invariant
+// checker; anything else is a client error.
+func strictParam(r *http.Request) (bool, error) {
+	switch v := r.URL.Query().Get("strict"); v {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: unknown strict value %q (1)", ErrBadRequest, v)
+	}
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.met.request("run")
 	if s.draining.Load() {
@@ -319,6 +333,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	strict, err := strictParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Strict configs are uncacheable by construction (ConfigKey returns
+	// not-cacheable), so runCached re-executes with the checker armed and
+	// answers with X-Dvfsd-Cache: bypass — a strict response always
+	// reflects an audited run, never a pinned body.
+	cfg.Strict = strict
 	switch mode := r.URL.Query().Get("trace"); mode {
 	case "":
 	case "jsonl":
@@ -403,11 +427,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	strict, err := strictParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
 	for i := range cfgs {
 		if err := s.prepare(&cfgs[i]); err != nil {
 			s.writeError(w, err)
 			return
 		}
+		// Strict points are uncacheable (ConfigKey), so each one below
+		// takes the compute path — audited runs never come from the cache.
+		cfgs[i].Strict = strict
 	}
 	// Admission is decided once for the whole sweep: if the queue is
 	// already full, bounce now rather than half-queueing a batch.

@@ -634,3 +634,67 @@ func TestMetricsShape(t *testing.T) {
 		}
 	}
 }
+
+// ?strict=1 arms the invariant checker and must never be served from the
+// result cache: every strict response reflects a re-executed, audited run.
+func TestStrictRunBypassesCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const body = `{"duration_s": 8, "seed": 11}`
+
+	// Warm the cache with the plain config so a cache hit is available.
+	readAll(t, postJSON(t, ts.URL+"/v1/run", body))
+
+	var strictBytes []byte
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, ts.URL+"/v1/run?strict=1", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("strict run %d: status %d: %s", i, resp.StatusCode, readAll(t, resp))
+		}
+		if got := resp.Header.Get("X-Dvfsd-Cache"); got != "bypass" {
+			t.Fatalf("strict run %d cache header = %q, want bypass", i, got)
+		}
+		strictBytes = readAll(t, resp)
+	}
+
+	// The audited result must agree with the unaudited one: the checker
+	// observes, it never perturbs.
+	_, strictRes := decodeRunBody(t, strictBytes)
+	plain := readAll(t, postJSON(t, ts.URL+"/v1/run", body))
+	_, plainRes := decodeRunBody(t, plain)
+	if !reflect.DeepEqual(strictRes, plainRes) {
+		t.Fatalf("strict result drifted from plain run:\nstrict: %+v\nplain:  %+v", strictRes, plainRes)
+	}
+
+	// Garbage strict values are client errors, not silently-off runs.
+	resp := postJSON(t, ts.URL+"/v1/run?strict=yes", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("strict=yes: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// A strict sweep audits every expanded point; outcomes match the plain
+// sweep and nothing lands in (or comes from) the cache.
+func TestStrictSweep(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	const body = `{"base": {"duration_s": 5}, "governors": ["ondemand", "energyaware"], "seeds": [1]}`
+	resp := postJSON(t, ts.URL+"/v1/sweep?strict=1", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var sw sweepBody
+	if err := json.Unmarshal(readAll(t, resp), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count != 2 {
+		t.Fatalf("sweep count = %d, want 2", sw.Count)
+	}
+	for _, o := range sw.Outcomes {
+		if o.Error != "" {
+			t.Fatalf("strict sweep point %d failed: %s", o.Index, o.Error)
+		}
+	}
+	if _, misses, _ := s.CacheStats(); misses != 0 {
+		t.Fatalf("strict sweep populated the cache: %d misses recorded", misses)
+	}
+}

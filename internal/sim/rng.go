@@ -87,18 +87,28 @@ func (g *RNG) Pareto(xm, alpha float64) float64 {
 	return xm / math.Pow(1-u, 1/alpha)
 }
 
-// Pick returns a random index weighted by the given non-negative weights.
-// If all weights are zero it returns 0.
+// Pick returns a random index weighted by the given non-negative weights;
+// non-finite weights count as zero (a NaN or Inf weight would poison the
+// running total and silently select the last index every time). If all
+// usable weight is zero it returns 0.
 func (g *RNG) Pick(weights []float64) int {
+	usable := func(w float64) bool {
+		return w > 0 && !math.IsInf(w, 1) // w > 0 is false for NaN
+	}
 	var total float64
 	for _, w := range weights {
-		total += w
+		if usable(w) {
+			total += w
+		}
 	}
 	if total <= 0 {
 		return 0
 	}
 	x := g.r.Float64() * total
 	for i, w := range weights {
+		if !usable(w) {
+			continue
+		}
 		x -= w
 		if x < 0 {
 			return i

@@ -20,6 +20,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"runtime"
 )
 
 // Time is a virtual-time instant or span, in seconds since simulation start.
@@ -102,9 +103,15 @@ func (e *Engine) Executed() uint64 { return e.executed }
 func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule runs fn after delay (relative to Now). A negative delay is
-// clamped to zero so causality is preserved. It returns a handle usable
-// with Cancel.
+// clamped to zero so causality is preserved. A NaN delay panics, naming
+// the call site: NaN would slip past the clamp (every comparison against
+// NaN is false), enter the heap, and poison every heapLess comparison,
+// silently corrupting event order for the rest of the run. It returns a
+// handle usable with Cancel.
 func (e *Engine) Schedule(delay Time, fn func()) Event {
+	if delay != delay { // math.IsNaN, without leaving a one-branch hot path
+		panicNaN("Schedule", delay)
+	}
 	if delay < 0 {
 		delay = 0
 	}
@@ -112,7 +119,11 @@ func (e *Engine) Schedule(delay Time, fn func()) Event {
 }
 
 // At runs fn at absolute virtual time t, clamped to Now if already past.
+// A NaN time panics, naming the call site (see Schedule).
 func (e *Engine) At(t Time, fn func()) Event {
+	if t != t {
+		panicNaN("At", t)
+	}
 	if t < e.now {
 		t = e.now
 	}
@@ -132,6 +143,17 @@ func (e *Engine) At(t Time, fn func()) Event {
 	e.seq++
 	e.heapPush(idx)
 	return Event{idx: idx, gen: s.gen}
+}
+
+// panicNaN reports a NaN schedule time, attributing it to the model code
+// that called Schedule/At (two frames up: panicNaN, then the engine
+// method) so the offending arithmetic is findable without a heap dump.
+func panicNaN(method string, t Time) {
+	site := "unknown call site"
+	if _, file, line, ok := runtime.Caller(2); ok {
+		site = fmt.Sprintf("%s:%d", file, line)
+	}
+	panic(fmt.Sprintf("sim: %s(NaN) from %s: a NaN time would poison event ordering (t=%v)", method, site, t))
 }
 
 // Scheduled reports whether the event the handle refers to is still

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -470,5 +471,57 @@ func TestEngineOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPickTreatsNonFiniteWeightsAsZero pins the hardened weighted pick: a
+// NaN or Inf weight used to poison the running total (NaN total fails
+// every comparison, Inf never decrements below zero), making Pick
+// silently return the last index regardless of the other weights.
+func TestPickTreatsNonFiniteWeightsAsZero(t *testing.T) {
+	g := Stream(1, "pick")
+	weights := []float64{1, math.NaN(), 0, math.Inf(1)}
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		idx := g.Pick(weights)
+		seen[idx] = true
+		if idx != 0 {
+			t.Fatalf("Pick chose index %d; only index 0 carries usable weight", idx)
+		}
+	}
+	if !seen[0] {
+		t.Fatal("index 0 never chosen")
+	}
+	// All weights unusable → the documented all-zero fallback.
+	if idx := g.Pick([]float64{math.NaN(), math.Inf(1)}); idx != 0 {
+		t.Fatalf("all-non-finite Pick = %d, want 0", idx)
+	}
+}
+
+// TestScheduleRejectsNaN pins the NaN guard on the event heap: NaN slips
+// past the t < now clamp (every NaN comparison is false) and poisons
+// every heapLess comparison, silently corrupting event order — so the
+// engine refuses it loudly, naming the call site.
+func TestScheduleRejectsNaN(t *testing.T) {
+	for _, call := range []struct {
+		name string
+		do   func(e *Engine)
+	}{
+		{"At", func(e *Engine) { e.At(Time(math.NaN()), func() {}) }},
+		{"Schedule", func(e *Engine) { e.Schedule(Time(math.NaN()), func() {}) }},
+	} {
+		t.Run(call.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatal("NaN time accepted")
+				}
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "sim_test.go") {
+					t.Fatalf("panic %v does not name the schedule site", r)
+				}
+			}()
+			call.do(NewEngine())
+		})
 	}
 }

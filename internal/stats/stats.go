@@ -287,17 +287,25 @@ func (h *Histogram) Add(x float64) {
 		h.nans++
 		return
 	}
-	if x < h.lo {
+	// Pick the bin by value comparison first and only convert in-range
+	// samples: for ±Inf (and any float beyond int range) the float→int
+	// conversion result is implementation-specific per the Go spec, so an
+	// Inf sample must never reach it.
+	var i int
+	switch {
+	case x < h.lo:
 		h.under++
-	} else if x >= h.hi {
-		h.over++
-	}
-	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
-	if i < 0 {
 		i = 0
-	}
-	if i >= len(h.bins) {
+	case x >= h.hi:
+		h.over++
 		i = len(h.bins) - 1
+	default:
+		i = int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+		if i >= len(h.bins) {
+			// Guard float rounding at the top edge (x just below hi can
+			// still scale to nbins).
+			i = len(h.bins) - 1
+		}
 	}
 	h.bins[i]++
 	h.n++

@@ -323,3 +323,57 @@ func TestHistogramNaNDoesNotTouchBins(t *testing.T) {
 		t.Errorf("N() = %d after NaN-only input, want 0", h.N())
 	}
 }
+
+// TestHistogramInfSamples pins the ±Inf handling: non-finite samples are
+// tallied as under/over and land in the edge bins by value comparison —
+// they must never reach the float→int bin conversion, whose result for
+// out-of-range floats is implementation-specific per the Go spec.
+func TestHistogramInfSamples(t *testing.T) {
+	h, err := NewHistogram(0, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(math.Inf(1))
+	h.Add(math.Inf(-1))
+	h.Add(5)
+	if h.N() != 3 {
+		t.Fatalf("N = %d, want 3", h.N())
+	}
+	if h.Under() != 1 || h.Over() != 1 {
+		t.Fatalf("under/over = %d/%d, want 1/1", h.Under(), h.Over())
+	}
+	counts := h.Counts()
+	if counts[0] != 1 || counts[len(counts)-1] != 1 || counts[2] != 1 {
+		t.Fatalf("counts = %v, want -Inf in bin 0, +Inf in last bin, 5 in bin 2", counts)
+	}
+	if got := 0 + counts[0] + counts[1] + counts[2] + counts[3]; got != h.N() {
+		t.Fatalf("bins sum to %d, N = %d", got, h.N())
+	}
+}
+
+// TestHistogramAddTotalConservation: every non-NaN sample lands in
+// exactly one bin, whatever its value.
+func TestHistogramAddTotalConservation(t *testing.T) {
+	h, _ := NewHistogram(-1, 1, 7)
+	f := func(xs []float64) bool {
+		before := 0
+		for _, c := range h.Counts() {
+			before += c
+		}
+		n := 0
+		for _, x := range xs {
+			h.Add(x)
+			if !math.IsNaN(x) {
+				n++
+			}
+		}
+		after := 0
+		for _, c := range h.Counts() {
+			after += c
+		}
+		return after-before == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

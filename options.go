@@ -72,3 +72,11 @@ func WithFrameTrace(s *Stream) Option { return func(c *RunConfig) { c.Trace = s 
 // the cap makes Run fail with ErrHorizonExceeded. dvfsd uses the same
 // mechanism as its per-request timeout.
 func WithHorizon(h Time) Option { return func(c *RunConfig) { c.Horizon = h } }
+
+// WithInvariants arms the run-time invariant checker: the event stream is
+// audited against the simulator's conservation laws (energy closure,
+// residency closure, frame accounting, event-time monotonicity — see
+// DESIGN.md §10) and any breach fails Run with a *Violation error,
+// unwrappable via errors.As. Strict runs pay the tracing cost and are
+// never served from the dvfsd result cache.
+func WithInvariants() Option { return func(c *RunConfig) { c.Strict = true } }

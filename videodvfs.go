@@ -25,6 +25,7 @@ import (
 	"videodvfs/internal/core"
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/experiments"
+	"videodvfs/internal/invariant"
 	"videodvfs/internal/player"
 	"videodvfs/internal/sim"
 	"videodvfs/internal/trace"
@@ -81,6 +82,10 @@ type (
 	TraceCollector = trace.Collector
 	// TraceMetrics is the per-run rollup a TraceCollector produces.
 	TraceMetrics = trace.Metrics
+	// Violation is a broken simulator invariant reported by a strict run
+	// (WithInvariants / RunConfig.Strict): the rule, the virtual time, and
+	// the observed vs expected values. Unwrap with errors.As.
+	Violation = invariant.Violation
 )
 
 // Governor identifiers accepted by RunConfig.Governor.
