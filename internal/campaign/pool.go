@@ -137,6 +137,7 @@ func (p *Pool) SubmitCtx(ctx context.Context, task func()) error {
 	s := &submission{task: task}
 	select {
 	case p.tasks <- s:
+		p.queued.Add(1)
 		// Go's select picks uniformly among ready cases, so a sender
 		// blocked here can win the send even when Close already closed
 		// p.closing — which would admit a task after "further

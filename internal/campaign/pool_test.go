@@ -75,6 +75,32 @@ func TestPoolSubmitCtxHonorsContext(t *testing.T) {
 	}
 }
 
+// TestPoolSubmitCtxCountsQueued pins the queued-counter accounting:
+// SubmitCtx's send path must increment the depth just like TrySubmit, or
+// the worker-side decrement underflows the counter and QueueDepth drifts
+// negative — silently disarming sweep admission control, the Retry-After
+// backlog estimate, and /metrics.
+func TestPoolSubmitCtxCountsQueued(t *testing.T) {
+	p := NewPool(1, 8)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.TrySubmit(func() { close(started); <-block })
+	<-started // the worker now owns the blocking task; queue is empty
+	for i := 0; i < 3; i++ {
+		if err := p.SubmitCtx(context.Background(), func() {}); err != nil {
+			t.Fatalf("SubmitCtx %d: %v", i, err)
+		}
+	}
+	if d := p.QueueDepth(); d != 3 {
+		t.Fatalf("QueueDepth after 3 SubmitCtx = %d, want 3", d)
+	}
+	close(block)
+	p.Close()
+	if d := p.QueueDepth(); d != 0 {
+		t.Fatalf("QueueDepth after drain = %d, want 0", d)
+	}
+}
+
 func TestPoolCloseDrainsAndRejects(t *testing.T) {
 	p := NewPool(1, 4)
 	var ran atomic.Int64

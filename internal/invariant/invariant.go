@@ -471,6 +471,18 @@ func (c *Checker) Finalize(f Final) *Violation {
 			return c.violation
 		}
 	}
+	// A state the stream never visited must not carry dwell in the
+	// radio's counters either; the loop above only covers stream keys.
+	for state, got := range f.RRCResidency {
+		if _, ok := c.rrcDwell[state]; ok {
+			continue
+		}
+		if !c.close2(0, got.Seconds()) {
+			c.fail("rrc-residency", end, 0, got.Seconds(),
+				"radio reports dwell in RRC %s but the event stream never entered it", state)
+			return c.violation
+		}
+	}
 	if !c.close2(rrcSum.Seconds(), end.Seconds()) {
 		c.fail("rrc-residency", end, rrcSum.Seconds(), end.Seconds(),
 			"per-state RRC dwell does not close to the run's end time")
@@ -499,6 +511,16 @@ func (c *Checker) Finalize(f Final) *Violation {
 			if got := f.IdleResidency[state]; !c.close2(d.Seconds(), got.Seconds()) {
 				c.fail("cstate-residency", end, d.Seconds(), got.Seconds(),
 					"C-state %s dwell from the event stream disagrees with the core's counter", state)
+				return c.violation
+			}
+		}
+		for state, got := range f.IdleResidency {
+			if _, ok := c.idleDwell[state]; ok {
+				continue
+			}
+			if !c.close2(0, got.Seconds()) {
+				c.fail("cstate-residency", end, 0, got.Seconds(),
+					"core reports dwell in C-state %s but the event stream never entered it", state)
 				return c.violation
 			}
 		}

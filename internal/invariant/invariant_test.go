@@ -187,6 +187,16 @@ func TestRuleCatalog(t *testing.T) {
 			},
 		},
 		{
+			name: "radio dwell in a state the stream never entered",
+			rule: "rrc-residency",
+			feed: feedClean,
+			fin: func(f *Final) {
+				// Stream dwell for DCH is absent, so the stream-keyed
+				// comparison alone would never look at it.
+				f.RRCResidency["DCH"] = 5
+			},
+		},
+		{
 			name: "decoded frames not conserved",
 			rule: "frame-accounting",
 			feed: feedClean,
@@ -269,6 +279,17 @@ func TestCStateClosure(t *testing.T) {
 	v := c.Finalize(f)
 	if v == nil || v.Rule != "cstate-residency" {
 		t.Fatalf("violation = %v, want cstate-residency", v)
+	}
+
+	// Engine-only dwell: the core claims time in a state the stream never
+	// entered, so the stream-keyed comparison alone would miss it.
+	c = New(cfg)
+	c.CPUBusy(trace.CPUBusyEvent{T: 2, Busy: true})
+	c.CPUBusy(trace.CPUBusyEvent{T: 3, Busy: false, CState: "retention"})
+	f.IdleResidency = map[string]sim.Time{"wfi": 2, "retention": 7, "off": 3}
+	v = c.Finalize(f)
+	if v == nil || v.Rule != "cstate-residency" {
+		t.Fatalf("engine-only C-state dwell: violation = %v, want cstate-residency", v)
 	}
 }
 

@@ -103,14 +103,17 @@ func (e *Engine) Executed() uint64 { return e.executed }
 func (e *Engine) Pending() int { return len(e.heap) }
 
 // Schedule runs fn after delay (relative to Now). A negative delay is
-// clamped to zero so causality is preserved. A NaN delay panics, naming
-// the call site: NaN would slip past the clamp (every comparison against
-// NaN is false), enter the heap, and poison every heapLess comparison,
-// silently corrupting event order for the rest of the run. It returns a
-// handle usable with Cancel.
+// clamped to zero so causality is preserved. A non-finite delay panics,
+// naming the call site: NaN would slip past the clamp (every comparison
+// against NaN is false), enter the heap, and poison every heapLess
+// comparison, while ±Inf enters as an event that can never fire and turns
+// subsequent time arithmetic into Inf/NaN — the same silent corruption.
+// It returns a handle usable with Cancel.
 func (e *Engine) Schedule(delay Time, fn func()) Event {
-	if delay != delay { // math.IsNaN, without leaving a one-branch hot path
-		panicNaN("Schedule", delay)
+	// delay != delay is math.IsNaN; the MaxFloat64 comparisons are
+	// math.IsInf — spelled out to stay a branch-only hot path.
+	if delay != delay || delay > math.MaxFloat64 || delay < -math.MaxFloat64 {
+		panicNonFinite("Schedule", delay)
 	}
 	if delay < 0 {
 		delay = 0
@@ -119,10 +122,10 @@ func (e *Engine) Schedule(delay Time, fn func()) Event {
 }
 
 // At runs fn at absolute virtual time t, clamped to Now if already past.
-// A NaN time panics, naming the call site (see Schedule).
+// A non-finite time panics, naming the call site (see Schedule).
 func (e *Engine) At(t Time, fn func()) Event {
-	if t != t {
-		panicNaN("At", t)
+	if t != t || t > math.MaxFloat64 || t < -math.MaxFloat64 {
+		panicNonFinite("At", t)
 	}
 	if t < e.now {
 		t = e.now
@@ -145,15 +148,16 @@ func (e *Engine) At(t Time, fn func()) Event {
 	return Event{idx: idx, gen: s.gen}
 }
 
-// panicNaN reports a NaN schedule time, attributing it to the model code
-// that called Schedule/At (two frames up: panicNaN, then the engine
-// method) so the offending arithmetic is findable without a heap dump.
-func panicNaN(method string, t Time) {
+// panicNonFinite reports a NaN or ±Inf schedule time, attributing it to
+// the model code that called Schedule/At (two frames up: panicNonFinite,
+// then the engine method) so the offending arithmetic is findable without
+// a heap dump.
+func panicNonFinite(method string, t Time) {
 	site := "unknown call site"
 	if _, file, line, ok := runtime.Caller(2); ok {
 		site = fmt.Sprintf("%s:%d", file, line)
 	}
-	panic(fmt.Sprintf("sim: %s(NaN) from %s: a NaN time would poison event ordering (t=%v)", method, site, t))
+	panic(fmt.Sprintf("sim: %s(%v) from %s: a non-finite time would poison event ordering", method, t, site))
 }
 
 // Scheduled reports whether the event the handle refers to is still

@@ -498,30 +498,40 @@ func TestPickTreatsNonFiniteWeightsAsZero(t *testing.T) {
 	}
 }
 
-// TestScheduleRejectsNaN pins the NaN guard on the event heap: NaN slips
-// past the t < now clamp (every NaN comparison is false) and poisons
-// every heapLess comparison, silently corrupting event order — so the
-// engine refuses it loudly, naming the call site.
-func TestScheduleRejectsNaN(t *testing.T) {
-	for _, call := range []struct {
+// TestScheduleRejectsNonFinite pins the non-finite guard on the event
+// heap: NaN slips past the t < now clamp (every NaN comparison is false)
+// and poisons every heapLess comparison, while ±Inf enters as an event
+// that can never fire and turns later time arithmetic into Inf/NaN — so
+// the engine refuses both loudly, naming the call site.
+func TestScheduleRejectsNonFinite(t *testing.T) {
+	for _, bad := range []struct {
 		name string
-		do   func(e *Engine)
+		t    Time
 	}{
-		{"At", func(e *Engine) { e.At(Time(math.NaN()), func() {}) }},
-		{"Schedule", func(e *Engine) { e.Schedule(Time(math.NaN()), func() {}) }},
+		{"NaN", Time(math.NaN())},
+		{"+Inf", Time(math.Inf(1))},
+		{"-Inf", Time(math.Inf(-1))},
 	} {
-		t.Run(call.name, func(t *testing.T) {
-			defer func() {
-				r := recover()
-				if r == nil {
-					t.Fatal("NaN time accepted")
-				}
-				msg, ok := r.(string)
-				if !ok || !strings.Contains(msg, "sim_test.go") {
-					t.Fatalf("panic %v does not name the schedule site", r)
-				}
-			}()
-			call.do(NewEngine())
-		})
+		for _, call := range []struct {
+			name string
+			do   func(e *Engine, t Time)
+		}{
+			{"At", func(e *Engine, t Time) { e.At(t, func() {}) }},
+			{"Schedule", func(e *Engine, t Time) { e.Schedule(t, func() {}) }},
+		} {
+			t.Run(call.name+"/"+bad.name, func(t *testing.T) {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("%s time accepted", bad.name)
+					}
+					msg, ok := r.(string)
+					if !ok || !strings.Contains(msg, "sim_test.go") {
+						t.Fatalf("panic %v does not name the schedule site", r)
+					}
+				}()
+				call.do(NewEngine(), bad.t)
+			})
+		}
 	}
 }
