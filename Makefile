@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test alloc-budget fuzz-short strict golden trace-golden bench bench-compare bench-baseline profile
+.PHONY: check vet build test alloc-budget fuzz-short strict golden trace-golden bench bench-compare bench-baseline bench-gate profile
 
 # The full gate: vet, build, race-enabled tests (includes the golden
 # regression suite and the parallel/serial equivalence test), and the
@@ -31,6 +31,7 @@ fuzz-short:
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzParseABRID$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzRunConfigValidate$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzRunConfigInvariants$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzSessionReset$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDecodeRunRequest$$' -fuzztime $(FUZZTIME)
 
 # Rebuild the full 28-experiment evaluation with the invariant checker
@@ -55,21 +56,35 @@ trace-golden:
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkRegistry' -benchtime 3x .
 
+# The pinned hot-path benchmarks the gate and the baseline agree on.
+# 2 s samples keep the best-of-run minimum (what benchgate compares)
+# inside ~3% run-to-run on a shared box; 1 s samples do not.
+GATE_BENCH = BenchmarkRunNoTrace$$|BenchmarkRunReset$$
+GATE_FLAGS = -benchmem -benchtime 2s -count 5
+
 # Re-pin the hot-path baseline (bench/baseline.txt). Run on the seed (or
 # after an intended perf change), then commit the new numbers.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'BenchmarkRunNoTrace' -benchmem -count 5 . | tee bench/baseline.txt
+	$(GO) test -run '^$$' -bench '$(GATE_BENCH)' $(GATE_FLAGS) . | tee bench/baseline.txt
 
 # Compare the current hot path against the pinned baseline. Uses
 # benchstat when installed; otherwise prints both runs side by side.
 bench-compare:
-	@$(GO) test -run '^$$' -bench 'BenchmarkRunNoTrace' -benchmem -count 5 . > bench/current.txt
+	@$(GO) test -run '^$$' -bench '$(GATE_BENCH)' $(GATE_FLAGS) . > bench/current.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench/baseline.txt bench/current.txt; \
 	else \
 		echo "== baseline (bench/baseline.txt) =="; grep Benchmark bench/baseline.txt; \
 		echo "== current (bench/current.txt) =="; grep Benchmark bench/current.txt; \
 	fi
+
+# The CI perf gate: run the pinned benchmarks and fail on >5% best-of-run time
+# regression (same-machine only) or ANY allocs/op / B/op increase against
+# bench/baseline.txt. Emits bench/BENCH_6.json (runs/sec, ns/op,
+# allocs/op) for the perf dashboard. No benchstat needed.
+bench-gate:
+	$(GO) test -run '^$$' -bench '$(GATE_BENCH)' $(GATE_FLAGS) . | tee bench/current.txt
+	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt -current bench/current.txt -out bench/BENCH_6.json
 
 # Profile the full 28-experiment campaign; inspect with
 #   go tool pprof prof/exprun.cpu  (or .mem)

@@ -165,6 +165,27 @@ func BenchmarkRunNoTrace(b *testing.B) {
 	}
 }
 
+// BenchmarkRunReset times the same 60 s session on one explicitly
+// recycled arena with a reused result struct — the campaign/dvfsd steady
+// state. The contract is 0 allocs/op: the whole simulation (Reset, event
+// loop, result collection) runs out of the arena's pools; bench-gate
+// fails the build if an allocation creeps back in.
+func BenchmarkRunReset(b *testing.B) {
+	cfg := experiments.DefaultRunConfig()
+	s := experiments.NewSession()
+	var res experiments.RunResult
+	if err := s.RunInto(cfg, &res); err != nil { // construct + warm the arena
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.RunInto(cfg, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunJSONL times the same session while streaming its full
 // event trace through the JSONL sink into a reused in-memory buffer —
 // the marginal cost of turning tracing on.

@@ -16,6 +16,12 @@
 // inputs and share no mutable state with other jobs. Under that contract
 // Do returns bit-identical outcomes for any worker count, which the
 // experiments package pins with a parallel-vs-serial equivalence test.
+//
+// Jobs built on experiments.Run additionally recycle whole simulation
+// arenas from a pool (experiments.Session): each worker's runs rewind an
+// existing simulator in place rather than constructing one, which is safe
+// under the same contract — a recycled arena is differentially pinned to
+// reproduce a fresh simulator's results exactly.
 package campaign
 
 import (

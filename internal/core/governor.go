@@ -159,12 +159,36 @@ type Governor struct {
 	attached    bool
 	period      sim.Time
 
-	// lastPred maps an in-flight frame index to its predicted demand so
-	// DecodeEnd can score accuracy.
-	lastPred    map[int]float64
+	// Single-slot in-flight prediction record so DecodeEnd can score
+	// accuracy. The decoder is strictly serial (one in-flight decode), so
+	// one slot replaces the former map without changing behavior.
+	predIdx int
+	predVal float64
+	predOK  bool
+
 	predStats   PredictionStats
 	boostFrames int
 	lowFrames   int
+
+	// Flat decision tables: the per-frame predict→slack→OPP pick reduced
+	// to precomputed lookups. flatFreqs/flatMaxIdx/flatMinIdx are built at
+	// attach from the scaler's model; marginF is (1 + Margin) hoisted out
+	// of the loop; frames[ready] is the budget rule's frame count for each
+	// decoded-queue depth, rebuilt lazily when the queue capacity changes.
+	// Every table entry is computed with the exact float operations of the
+	// unflattened path, so decisions are bit-identical.
+	flatFreqs  []float64
+	flatMaxIdx int
+	flatMinIdx int
+	marginF    float64
+	frames     []float64
+	flatTarget int
+	flatQCap   int
+
+	// legacy routes DecodeStart through the pre-flattening decision path.
+	// Test-only hook: the flat-vs-legacy property tests use it as the
+	// oracle, so decodeStartLegacy must stay semantically frozen.
+	legacy bool
 }
 
 // New returns an energy-aware governor with the given tuning.
@@ -176,7 +200,58 @@ func New(cfg Config) (*Governor, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Governor{cfg: cfg, pred: pred, lastPred: make(map[int]float64)}, nil
+	return &Governor{cfg: cfg, pred: pred, marginF: 1 + cfg.Margin, flatQCap: -1}, nil
+}
+
+// Reset rewinds the governor to the state New(cfg) would construct,
+// keeping its allocations: the per-frame error log's backing array, the
+// flat decision tables, and — when the predictor family and parameters are
+// unchanged — the predictor itself, zeroed in place. The governor detaches
+// from its scaler and drops its tracer; the next run re-attaches.
+func (g *Governor) Reset(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if !g.resetPredictorInPlace(cfg) {
+		pred, err := NewPredictor(cfg.Predictor, cfg.Alpha, cfg.SigmaK)
+		if err != nil {
+			return err
+		}
+		g.pred = pred
+	}
+	g.cfg = cfg
+	g.core = nil
+	g.tracer = nil
+	g.playing = false
+	g.downloading = false
+	g.attached = false
+	g.period = 0
+	g.predIdx, g.predVal, g.predOK = 0, 0, false
+	g.predStats = PredictionStats{RelErr: g.predStats.RelErr[:0]}
+	g.boostFrames = 0
+	g.lowFrames = 0
+	g.marginF = 1 + cfg.Margin
+	g.flatQCap = -1 // frames table depends on cfg: rebuild on first use
+	return nil
+}
+
+// resetPredictorInPlace zeroes the existing predictor when the new config
+// keeps the same family and parameters, reporting whether it could.
+func (g *Governor) resetPredictorInPlace(cfg Config) bool {
+	if cfg.Predictor != g.cfg.Predictor || cfg.Alpha != g.cfg.Alpha || cfg.SigmaK != g.cfg.SigmaK {
+		return false
+	}
+	switch p := g.pred.(type) {
+	case *typedPredictor:
+		for i := range p.stats {
+			p.stats[i] = ewmaStat{alpha: p.alpha}
+		}
+		return true
+	case *globalPredictor:
+		p.st = ewmaStat{alpha: p.st.alpha}
+		return true
+	}
+	return false
 }
 
 // Name implements governor.Governor.
@@ -199,7 +274,20 @@ func (g *Governor) AttachScaler(_ *sim.Engine, scaler FreqScaler) error {
 	}
 	g.attached = true
 	g.core = scaler
-	scaler.SetOPP(g.minOPP())
+	model := scaler.Model()
+	if cap(g.flatFreqs) < len(model.OPPs) {
+		g.flatFreqs = make([]float64, len(model.OPPs))
+	}
+	g.flatFreqs = g.flatFreqs[:len(model.OPPs)]
+	for i, o := range model.OPPs {
+		g.flatFreqs[i] = o.FreqHz
+	}
+	g.flatMaxIdx = model.MaxIdx()
+	g.flatMinIdx = g.cfg.MinOPP
+	if g.flatMinIdx > g.flatMaxIdx {
+		g.flatMinIdx = g.flatMaxIdx
+	}
+	scaler.SetOPP(g.flatMinIdx)
 	return nil
 }
 
@@ -243,11 +331,75 @@ func (g *Governor) StreamInfo(fps float64, totalFrames int) {
 }
 
 // DecodeStart implements decode.Hooks: pick the lowest OPP whose frequency
-// retires the predicted demand inside the frame's budget.
+// retires the predicted demand inside the frame's budget. The default path
+// is the flat one — every per-config quantity comes from the precomputed
+// tables, leaving a single branch ladder plus one linear scan over the
+// frequency column.
 func (g *Governor) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, ready, queueCap int) {
 	if g.core == nil {
 		return
 	}
+	if g.legacy {
+		g.decodeStartLegacy(now, f, deadline, ready, queueCap)
+		return
+	}
+	if g.cfg.StartupBoost && !g.playing {
+		g.boostFrames++
+		g.core.SetOPP(g.flatMaxIdx)
+		if g.tracer != nil {
+			g.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type, OPP: g.flatMaxIdx, Boost: true})
+		}
+		return
+	}
+	pred, ok := g.pred.Predict(f.Type)
+	if !ok {
+		// Cold predictor: be safe, learn fast.
+		g.boostFrames++
+		g.core.SetOPP(g.flatMaxIdx)
+		if g.tracer != nil {
+			g.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type, OPP: g.flatMaxIdx, Boost: true})
+		}
+		return
+	}
+	g.predIdx, g.predVal, g.predOK = f.Index, pred, true
+	slack := deadline - now - g.cfg.Guard
+	if slack <= 0 {
+		g.boostFrames++
+		g.core.SetOPP(g.flatMaxIdx)
+		if g.tracer != nil {
+			g.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type,
+				PredCycles: pred, Slack: slack, OPP: g.flatMaxIdx, Boost: true})
+		}
+		return
+	}
+	budget := g.flatBudget(slack, ready, queueCap)
+	need := pred * g.marginF / budget.Seconds()
+	// Inline IdxForFreq over the flat frequency column: first OPP that
+	// meets the need, else the top (also the NaN fallthrough).
+	idx := g.flatMaxIdx
+	for i, hz := range g.flatFreqs {
+		if hz >= need {
+			idx = i
+			break
+		}
+	}
+	if idx < g.flatMinIdx {
+		idx = g.flatMinIdx
+	}
+	if idx == g.flatMinIdx {
+		g.lowFrames++
+	}
+	g.core.SetOPP(idx)
+	if g.tracer != nil {
+		g.tracer.Decision(trace.DecisionEvent{T: now, Frame: f.Index, Type: f.Type,
+			PredCycles: pred, Slack: slack, Budget: budget, OPP: idx})
+	}
+}
+
+// decodeStartLegacy is the pre-flattening decision path, retained verbatim
+// as the oracle for the flat-table equivalence property tests. It must stay
+// semantically frozen: any change here invalidates the tests' ground truth.
+func (g *Governor) decodeStartLegacy(now sim.Time, f video.Frame, deadline sim.Time, ready, queueCap int) {
 	model := g.core.Model()
 	if g.cfg.StartupBoost && !g.playing {
 		g.boostFrames++
@@ -267,7 +419,7 @@ func (g *Governor) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, r
 		}
 		return
 	}
-	g.lastPred[f.Index] = pred
+	g.predIdx, g.predVal, g.predOK = f.Index, pred, true
 	slack := deadline - now - g.cfg.Guard
 	if slack <= 0 {
 		g.boostFrames++
@@ -294,10 +446,68 @@ func (g *Governor) DecodeStart(now sim.Time, f video.Frame, deadline sim.Time, r
 	}
 }
 
+// flatBudget is budgetFor with the per-config arithmetic lifted into the
+// frames table: frames[ready] is the clamped (ready − target + 1) count.
+// The table is rebuilt only when the decoded-queue capacity changes.
+func (g *Governor) flatBudget(slack sim.Time, ready, queueCap int) sim.Time {
+	if queueCap != g.flatQCap {
+		g.rebuildFrames(queueCap)
+	}
+	var frames float64
+	if ready >= 0 && ready < len(g.frames) {
+		frames = g.frames[ready]
+	} else {
+		// Out-of-table depth (never produced by the decoder, but the
+		// hooks are a public surface): compute the rule directly.
+		frames = float64(ready-g.flatTarget) + 1
+		if frames < g.cfg.SprintFrames {
+			frames = g.cfg.SprintFrames
+		}
+	}
+	period := g.period
+	if period <= 0 {
+		// Unknown frame rate: estimate the period from slack, which
+		// spans roughly ready+1 frame intervals at steady state.
+		period = slack / sim.Time(float64(ready+1))
+	}
+	budget := sim.Time(frames) * period
+	if budget > slack {
+		budget = slack
+	}
+	return budget
+}
+
+// rebuildFrames precomputes the budget rule's frame counts for every
+// decoded-queue depth 0..queueCap, using the exact arithmetic of budgetFor.
+func (g *Governor) rebuildFrames(queueCap int) {
+	target := int(g.cfg.TargetQueueFrac * float64(queueCap))
+	if target < 1 {
+		target = 1
+	}
+	n := queueCap + 1
+	if n < 1 {
+		n = 1
+	}
+	if cap(g.frames) < n {
+		g.frames = make([]float64, n)
+	}
+	g.frames = g.frames[:n]
+	for ready := range g.frames {
+		fr := float64(ready-target) + 1
+		if fr < g.cfg.SprintFrames {
+			fr = g.cfg.SprintFrames
+		}
+		g.frames[ready] = fr
+	}
+	g.flatTarget = target
+	g.flatQCap = queueCap
+}
+
 // DecodeEnd implements decode.Hooks: feed the predictor and score it.
 func (g *Governor) DecodeEnd(_ sim.Time, f video.Frame, _ sim.Time, measuredCycles float64) {
-	if pred, ok := g.lastPred[f.Index]; ok {
-		delete(g.lastPred, f.Index)
+	if g.predOK && g.predIdx == f.Index {
+		pred := g.predVal
+		g.predOK = false
 		g.predStats.N++
 		if measuredCycles > pred {
 			g.predStats.Underestimates++
@@ -323,7 +533,7 @@ func (g *Governor) DecoderIdle(sim.Time) {
 		// momentarily between segment arrivals.
 		return
 	}
-	g.core.SetOPP(g.minOPP())
+	g.core.SetOPP(g.flatMinIdx)
 }
 
 // PlaybackState implements player.SessionHooks.
@@ -334,7 +544,7 @@ func (g *Governor) PlaybackState(_ sim.Time, playing bool) {
 	}
 	if !playing && g.cfg.RaceToIdle {
 		// Stalls are network-bound; burning CPU does not help.
-		g.core.SetOPP(g.minOPP())
+		g.core.SetOPP(g.flatMinIdx)
 	}
 }
 

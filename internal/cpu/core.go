@@ -159,6 +159,63 @@ func NewCore(eng *sim.Engine, model Model) (*Core, error) {
 	return c, nil
 }
 
+// Reset rewinds the core to the state NewCore would construct for model,
+// keeping its allocations: queue backing arrays, the dwell table (when the
+// OPP count matches), the per-tag accounting map, and the pre-bound
+// completion callback all survive. Queued and in-flight jobs are returned
+// to their pools so recycled submitters find them again; listeners and the
+// tracer are dropped (the next run re-registers its own); the cpuidle
+// model is disabled until EnableCStates is called again. The owning engine
+// must be reset (or drained) alongside, since any pending completion event
+// is simply forgotten here.
+func (c *Core) Reset(model Model) error {
+	if err := model.Validate(); err != nil {
+		return err
+	}
+	for p := range c.queues {
+		q := &c.queues[p]
+		for q.len() > 0 {
+			j := q.pop()
+			if j.pool != nil {
+				j.pool.put(j)
+			}
+		}
+	}
+	if c.running {
+		if j := c.current.job; j != nil && j.pool != nil {
+			j.pool.put(j)
+		}
+	}
+	c.model = model
+	c.oppIdx = 0
+	c.capIdx = model.MaxIdx()
+	c.current = runningJob{}
+	c.running = false
+	c.doneEv = sim.Event{}
+	c.stallUntil = 0
+	c.totalBusy = 0
+	c.busySince = 0
+	c.busy = false
+	clear(c.cyclesByTag)
+	c.onPower = nil
+	c.onOPP = nil
+	c.onBusy = nil
+	c.tracer = nil
+	if len(c.freqDwell) == len(model.OPPs) {
+		for i := range c.freqDwell {
+			c.freqDwell[i] = 0
+		}
+	} else {
+		c.freqDwell = make([]sim.Time, len(model.OPPs))
+	}
+	c.lastDwell = 0
+	c.transitions = 0
+	c.idle = nil
+	c.idleStateIdx = 0
+	c.idleSince = 0
+	return nil
+}
+
 // Model returns the device model the core runs.
 func (c *Core) Model() Model { return c.model }
 
@@ -240,13 +297,21 @@ func (c *Core) Transitions() int { return c.transitions }
 // FreqResidency returns seconds spent at each OPP index so far.
 func (c *Core) FreqResidency() map[int]sim.Time {
 	out := make(map[int]sim.Time, len(c.freqDwell))
+	c.FreqResidencyInto(out)
+	return out
+}
+
+// FreqResidencyInto fills out with seconds spent at each OPP index so far,
+// clearing it first. It is the allocation-free variant of FreqResidency
+// for result structs that recycle their maps across runs.
+func (c *Core) FreqResidencyInto(out map[int]sim.Time) {
+	clear(out)
 	for idx, d := range c.freqDwell {
 		if d > 0 {
 			out[idx] = d
 		}
 	}
 	out[c.oppIdx] += c.eng.Now() - c.lastDwell
-	return out
 }
 
 // Submit enqueues a job. Jobs with non-positive cycles complete

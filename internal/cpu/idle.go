@@ -103,7 +103,13 @@ func (c *Core) EnableCStates(states []CState) error {
 	}
 	c.idle = &idleGovernor{states: states}
 	c.idleStateIdx = 0
-	c.idleDwell = make([]sim.Time, len(states))
+	if len(c.idleDwell) == len(states) {
+		for i := range c.idleDwell {
+			c.idleDwell[i] = 0
+		}
+	} else {
+		c.idleDwell = make([]sim.Time, len(states))
+	}
 	c.emitPower()
 	return nil
 }
@@ -124,6 +130,19 @@ func (c *Core) IdleStateResidency() map[string]sim.Time {
 		return nil
 	}
 	out := make(map[string]sim.Time, len(c.idleDwell))
+	c.IdleStateResidencyInto(out)
+	return out
+}
+
+// IdleStateResidencyInto fills out with seconds spent in each C-state so
+// far, clearing it first; with C-states disabled it only clears. It is the
+// allocation-free variant of IdleStateResidency for result structs that
+// recycle their maps across runs.
+func (c *Core) IdleStateResidencyInto(out map[string]sim.Time) {
+	clear(out)
+	if c.idle == nil {
+		return
+	}
 	for i, v := range c.idleDwell {
 		if v > 0 {
 			out[c.idle.states[i].Name] = v
@@ -132,5 +151,4 @@ func (c *Core) IdleStateResidency() map[string]sim.Time {
 	if !c.busy {
 		out[c.idle.states[c.idleStateIdx].Name] += c.eng.Now() - c.idleSince
 	}
-	return out
 }

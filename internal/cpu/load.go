@@ -2,6 +2,7 @@ package cpu
 
 import (
 	"fmt"
+	"math"
 
 	"videodvfs/internal/sim"
 )
@@ -17,10 +18,16 @@ type LoadGen struct {
 	period sim.Time
 	meanCy float64
 	cv     float64
-	prio   Priority
-	tag    string
-	stop   bool
-	subErr error
+	// mu/sigma are the lognormal parameters for (meanCy, cv), computed
+	// once per configuration instead of per tick; lognorm is false when
+	// cv ≤ 0, where LognormalMeanCV returns the mean without consuming a
+	// draw — the flattened path must preserve that draw count exactly.
+	mu, sigma float64
+	lognorm   bool
+	prio      Priority
+	tag       string
+	stop      bool
+	subErr    error
 	// fire is the pre-bound tick callback and pool recycles submitted
 	// jobs, so a running generator allocates nothing per job.
 	fire func()
@@ -72,22 +79,49 @@ func StartLoadGen(eng *sim.Engine, core *Core, rng *sim.RNG, cfg LoadGenConfig) 
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	g := &LoadGen{eng: eng, core: core, rng: rng}
+	g.fire = g.tick
+	g.configure(cfg)
+	g.arm()
+	return g, nil
+}
+
+// configure applies a validated config, precomputing the lognormal
+// parameters the tick path draws from.
+func (g *LoadGen) configure(cfg LoadGenConfig) {
 	if cfg.Tag == "" {
 		cfg.Tag = "background"
 	}
-	g := &LoadGen{
-		eng:    eng,
-		core:   core,
-		rng:    rng,
-		period: cfg.Period,
-		meanCy: cfg.MeanCycles,
-		cv:     cfg.CV,
-		prio:   cfg.Priority,
-		tag:    cfg.Tag,
+	g.period = cfg.Period
+	g.meanCy = cfg.MeanCycles
+	g.cv = cfg.CV
+	g.prio = cfg.Priority
+	g.tag = cfg.Tag
+	g.lognorm = cfg.CV > 0 && cfg.MeanCycles > 0
+	if g.lognorm {
+		sigma2 := math.Log(1 + cfg.CV*cfg.CV)
+		g.mu = math.Log(cfg.MeanCycles) - sigma2/2
+		g.sigma = math.Sqrt(sigma2)
+	} else {
+		g.mu, g.sigma = 0, 0
 	}
-	g.fire = g.tick
+}
+
+// Restart rewinds a stopped (or abandoned) generator to the state
+// StartLoadGen would construct for cfg and arms the first tick, keeping
+// the job pool and pre-bound callback. The caller is responsible for the
+// engine and RNG: restart only after the engine was reset (so no stale
+// tick is pending) and after reseeding the RNG if draw-for-draw
+// reproducibility with a fresh generator is required.
+func (g *LoadGen) Restart(cfg LoadGenConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	g.configure(cfg)
+	g.stop = false
+	g.subErr = nil
 	g.arm()
-	return g, nil
+	return nil
 }
 
 func (g *LoadGen) arm() {
@@ -99,7 +133,12 @@ func (g *LoadGen) tick() {
 	if g.stop {
 		return
 	}
-	cycles := g.rng.LognormalMeanCV(g.meanCy, g.cv)
+	// Same draw as rng.LognormalMeanCV(meanCy, cv) with the parameters
+	// hoisted out of the loop: cv ≤ 0 takes the mean without a draw.
+	cycles := g.meanCy
+	if g.lognorm {
+		cycles = g.rng.Lognormal(g.mu, g.sigma)
+	}
 	j := g.pool.Get()
 	j.Cycles = cycles
 	j.Priority = g.prio

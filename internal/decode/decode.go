@@ -137,6 +137,40 @@ func New(eng *sim.Engine, core Submitter, queueCap int, deadlineOf func(f video.
 	return d, nil
 }
 
+// Reset rewinds the decoder to the state New would construct for
+// (queueCap, hooks), keeping its allocations: both frame-queue backing
+// arrays, the job pool, and the pre-bound completion callback survive, as
+// do the deadlineOf function and the OnReady callback wired at
+// construction (they belong to the owning player, which outlives the
+// reset). The owning engine and submitter must be reset alongside; an
+// in-flight decode job is simply forgotten here (its pooled CPU job is
+// returned by the core's own reset).
+func (d *Decoder) Reset(queueCap int, hooks Hooks) error {
+	if queueCap < 1 {
+		return fmt.Errorf("decode: queue capacity %d < 1", queueCap)
+	}
+	if hooks == nil {
+		hooks = NopHooks{}
+	}
+	d.cap = queueCap
+	d.hooks = hooks
+	d.pending.buf = d.pending.buf[:0]
+	d.pending.head = 0
+	if cap(d.ready.buf) < queueCap+1 {
+		d.ready.buf = make([]video.Frame, 0, queueCap+1)
+	} else {
+		d.ready.buf = d.ready.buf[:0]
+	}
+	d.ready.head = 0
+	d.inFlight = false
+	d.curFrame = video.Frame{}
+	d.curDeadline = 0
+	d.discardBelow = 0
+	d.counts = Counts{}
+	d.subErr = nil
+	return nil
+}
+
 // OnReady registers a callback invoked when a frame lands in the decoded
 // queue (the display uses it to wake from stalls).
 func (d *Decoder) OnReady(fn func(f video.Frame)) { d.onReady = fn }

@@ -48,6 +48,16 @@ func (m *Meter) Listener(component string) func(now sim.Time, watts float64) {
 	return func(_ sim.Time, watts float64) { m.Set(component, watts) }
 }
 
+// Reset forgets every component's accumulated signal while keeping the
+// component entries (and their allocations) in place, so a recycled meter
+// re-accumulates from zero without rebuilding its map. Map iteration order
+// is irrelevant here: each component resets independently.
+func (m *Meter) Reset() {
+	for _, tw := range m.comps {
+		tw.Reset()
+	}
+}
+
 // Finish closes every component's integral at the current virtual time.
 // Call once when the simulation ends, before reading totals.
 func (m *Meter) Finish() {

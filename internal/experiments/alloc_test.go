@@ -100,3 +100,37 @@ func TestRunLoopAllocBudget(t *testing.T) {
 		t.Fatal("rig never displayed a frame; budget measured an idle loop")
 	}
 }
+
+// TestRunLoopAllocBudgetReset is the arena-reuse counterpart: after the
+// first two runs populate every pool and memo, a WHOLE recycled run —
+// Reset, the full event loop, and result collection into a reused
+// RunResult — allocates nothing. This is the budget campaign.Pool and
+// dvfsd sweeps rely on; any construction work that escapes into the reset
+// path fails here.
+func TestRunLoopAllocBudgetReset(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Duration = 10 * sim.Second
+
+	s := NewSession()
+	var res RunResult
+	// Warm up: first run constructs, second settles pool high-water marks
+	// (testing.AllocsPerRun itself runs the closure once more before
+	// measuring, so any straggler is also outside the measured window).
+	for i := 0; i < 2; i++ {
+		if err := s.RunInto(cfg, &res); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	avg := testing.AllocsPerRun(5, func() {
+		if err := s.RunInto(cfg, &res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("recycled session run allocates: %v allocs per run (want 0)", avg)
+	}
+	if res.QoE.DisplayedFrames == 0 {
+		t.Fatal("recycled run displayed no frames; budget measured an idle loop")
+	}
+}

@@ -56,6 +56,14 @@ func GovernorIDs() []GovernorID {
 // ParseGovernorID validates a governor name from an untrusted source.
 // Unknown names return an error matching ErrUnknownGovernor.
 func ParseGovernorID(name string) (GovernorID, error) {
+	// Fast path over the known constants: GovernorIDs() allocates its
+	// slice per call, which would put an allocation in every Validate on
+	// the arena-reuse hot path.
+	switch GovernorID(name) {
+	case GovPerformance, GovPowersave, GovOndemand, GovConservative,
+		GovInteractive, GovSchedutil, GovEnergyAware, GovOracle:
+		return GovernorID(name), nil
+	}
 	for _, id := range GovernorIDs() {
 		if GovernorID(name) == id {
 			return id, nil
@@ -87,8 +95,12 @@ func ABRIDs() []ABRID { return []ABRID{ABRFixed, ABRRate, ABRBBA} }
 // string parses as ABRFixed; unknown names return an error matching
 // ErrUnknownABR.
 func ParseABRID(name string) (ABRID, error) {
-	if name == "" {
+	switch ABRID(name) {
+	case "":
 		return ABRFixed, nil
+	case ABRFixed, ABRRate, ABRBBA:
+		// Fast path mirroring ParseGovernorID: keep Validate allocation-free.
+		return ABRID(name), nil
 	}
 	for _, id := range ABRIDs() {
 		if ABRID(name) == id {

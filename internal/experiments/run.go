@@ -13,7 +13,6 @@ import (
 	"videodvfs/internal/abr"
 	"videodvfs/internal/core"
 	"videodvfs/internal/cpu"
-	"videodvfs/internal/energy"
 	"videodvfs/internal/governor"
 	"videodvfs/internal/invariant"
 	"videodvfs/internal/netsim"
@@ -274,32 +273,77 @@ func buildGovernor(cfg RunConfig, tr trace.Tracer) (governor.Governor, player.Se
 	}
 }
 
+// Shared bandwidth values for the constant profiles: both are immutable
+// value types, and package-level interface values keep the per-run boxing
+// allocation off the arena's reset path.
+var (
+	bwWiFi   netsim.Bandwidth = netsim.WiFiSteady()
+	bwConst8 netsim.Bandwidth = netsim.Constant{Bps: 8e6}
+)
+
+// bwKey identifies one deterministic Markov bandwidth trace. Generation is
+// a pure function of these fields, so identical requests share the
+// generated (read-only) trace.
+type bwKey struct {
+	net  NetKind
+	dur  sim.Time
+	seed int64
+}
+
+// bwCache memoizes generated Markov traces across runs, mirroring
+// streamCache: traces are immutable after generation (Rate only reads), so
+// sharing them between concurrent runs is safe and changes no output.
+var bwCache sync.Map // bwKey -> netsim.Bandwidth
+
 func buildBandwidth(cfg RunConfig) (netsim.Bandwidth, netsim.RRCConfig, error) {
+	bw, rrc, err := buildBandwidthBase(cfg)
+	if err != nil {
+		return nil, rrc, err
+	}
+	if cfg.RRC != nil {
+		rrc = *cfg.RRC
+	}
+	return bw, rrc, nil
+}
+
+// buildBandwidthBase resolves the bandwidth model and the network's default
+// RRC profile, before any RunConfig.RRC override (the arena memoizes the
+// base pair and applies the override per run).
+func buildBandwidthBase(cfg RunConfig) (netsim.Bandwidth, netsim.RRCConfig, error) {
 	rrc := netsim.DefaultLTE()
 	var bw netsim.Bandwidth
 	switch cfg.Net {
 	case NetWiFi, "":
-		bw = netsim.WiFiSteady()
+		bw = bwWiFi
 	case NetConst8:
-		bw = netsim.Constant{Bps: 8e6}
+		bw = bwConst8
 	case NetLTE:
+		key := bwKey{net: NetLTE, dur: cfg.Duration, seed: cfg.Seed}
+		if cached, ok := bwCache.Load(key); ok {
+			bw = cached.(netsim.Bandwidth)
+			break
+		}
 		tr, err := netsim.GenMarkovTrace(netsim.LTEStates(), cfg.Duration*4, sim.Stream(cfg.Seed, "bw/lte"))
 		if err != nil {
 			return nil, rrc, err
 		}
 		bw = tr
+		bwCache.Store(key, bw)
 	case NetUMTS:
+		rrc = netsim.DefaultUMTS()
+		key := bwKey{net: NetUMTS, dur: cfg.Duration, seed: cfg.Seed}
+		if cached, ok := bwCache.Load(key); ok {
+			bw = cached.(netsim.Bandwidth)
+			break
+		}
 		tr, err := netsim.GenMarkovTrace(netsim.UMTSStates(), cfg.Duration*4, sim.Stream(cfg.Seed, "bw/umts"))
 		if err != nil {
 			return nil, rrc, err
 		}
 		bw = tr
-		rrc = netsim.DefaultUMTS()
+		bwCache.Store(key, bw)
 	default:
 		return nil, rrc, fmt.Errorf("experiments: unknown network kind %q", cfg.Net)
-	}
-	if cfg.RRC != nil {
-		rrc = *cfg.RRC
 	}
 	return bw, rrc, nil
 }
@@ -323,6 +367,11 @@ type streamKey struct {
 // output — it only removes the dominant setup cost of repeated runs.
 var streamCache sync.Map // streamKey -> []*video.Stream
 
+// abrFixed0 is the shared fixed-rung adaptation value: abr.Fixed is a
+// stateless value type, and a package-level interface value keeps the
+// per-run boxing allocation off the arena's reset path.
+var abrFixed0 abr.Algorithm = abr.Fixed{Rung: 0}
+
 func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 	fps := cfg.FPS
 	if fps == 0 {
@@ -332,16 +381,12 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 		if len(cfg.Trace.Frames) == 0 {
 			return nil, nil, fmt.Errorf("experiments: empty frame trace")
 		}
-		return []*video.Stream{cfg.Trace}, abr.Fixed{Rung: 0}, nil
+		return []*video.Stream{cfg.Trace}, abrFixed0, nil
 	}
-	codec := video.DefaultCodec()
-	if cfg.Codec != "" {
-		var err error
-		codec, err = video.CodecByName(cfg.Codec)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
+	// Codec resolution is deferred into the cache-miss branches: the
+	// default codec's construction allocates, and a bad codec name can
+	// never have been cached (generation would have failed), so cache hits
+	// lose nothing by skipping it.
 	key := streamKey{
 		title: cfg.Title,
 		codec: cfg.Codec,
@@ -353,7 +398,15 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 	case "", ABRFixed:
 		key.rung = cfg.Rung
 		if cached, ok := streamCache.Load(key); ok {
-			return cached.([]*video.Stream), abr.Fixed{Rung: 0}, nil
+			return cached.([]*video.Stream), abrFixed0, nil
+		}
+		codec := video.DefaultCodec()
+		if cfg.Codec != "" {
+			var err error
+			codec, err = video.CodecByName(cfg.Codec)
+			if err != nil {
+				return nil, nil, err
+			}
 		}
 		spec := video.DefaultSpec(cfg.Title, cfg.Rung).WithCodec(codec)
 		spec.FPS = fps
@@ -363,7 +416,7 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 		}
 		streams := []*video.Stream{s}
 		streamCache.Store(key, streams)
-		return streams, abr.Fixed{Rung: 0}, nil
+		return streams, abrFixed0, nil
 	default:
 		algo, err := abr.New(string(cfg.ABR))
 		if err != nil {
@@ -372,6 +425,13 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 		key.ladder = true
 		if cached, ok := streamCache.Load(key); ok {
 			return cached.([]*video.Stream), algo, nil
+		}
+		// The ladder generator ignores the codec, but a bad codec name
+		// must still fail the run as it always has.
+		if cfg.Codec != "" {
+			if _, err := video.CodecByName(cfg.Codec); err != nil {
+				return nil, nil, err
+			}
 		}
 		streams, err := video.GenerateLadder(cfg.Title, fps, video.DefaultLadder(), cfg.Duration, cfg.Seed)
 		if err != nil {
@@ -415,229 +475,25 @@ func buildChecker(cfg RunConfig) *invariant.Checker {
 // Run executes one simulation and returns its result. The config is
 // validated up front (see Validate); invalid configs fail with
 // ErrInvalidConfig before any simulation state is built.
+//
+// Run serves from a pool of arena Sessions (see Session): repeated calls
+// recycle whole simulation instances instead of reconstructing them. The
+// results are identical either way — SetSessionReuse(false) forces a fresh
+// arena per call (the differential tests pin the equivalence).
 func Run(cfg RunConfig) (RunResult, error) {
-	if cfg.Trace != nil && cfg.Duration <= 0 {
-		cfg.Duration = cfg.Trace.Duration()
-	}
-	if err := cfg.Validate(); err != nil {
-		return RunResult{}, err
-	}
-	if cfg.Device.Name == "" {
-		cfg.Device = cpu.DeviceFlagship()
-	}
-	if cfg.Title.Name == "" {
-		cfg.Title = video.TitleSports
-	}
-	if cfg.Rung.Name == "" {
-		cfg.Rung = video.R720p
-	}
-
-	tr := cfg.Tracer
-	var closeTrace func() error
-	if tr == nil {
-		if f := currentTraceFactory(); f != nil {
-			tr, closeTrace = f(cfg)
-		}
-	}
-	chk := buildChecker(cfg)
-	if chk != nil {
-		// The checker rides first in the tee; it only observes, so every
-		// downstream tracer sees the identical stream.
-		if tr == nil {
-			tr = chk
-		} else {
-			tr = trace.Tee{chk, tr}
-		}
-	}
-	closed := false
-	defer func() {
-		if closeTrace != nil && !closed {
-			closeTrace() // error path: best-effort flush
-		}
-	}()
-
-	eng := sim.NewEngine()
-	meter := energy.NewMeter(eng)
-
-	coreCPU, err := cpu.NewCore(eng, cfg.Device)
-	if err != nil {
-		return RunResult{}, err
-	}
-	if cfg.CStates {
-		if err := coreCPU.EnableCStates(cpu.DefaultCStates()); err != nil {
+	var res RunResult
+	if sessionReuseOff.Load() {
+		if err := NewSession().RunInto(cfg, &res); err != nil {
 			return RunResult{}, err
 		}
+		return res, nil
 	}
-	if tr != nil {
-		coreCPU.SetTracer(tr)
-	}
-	coreCPU.OnPower(tracedListener(meter, energy.ComponentCPU, tr))
-
-	gov, hooks, eaGov, err := buildGovernor(cfg, tr)
+	s := sessionPool.Get().(*Session)
+	err := s.RunInto(cfg, &res)
+	// Not returned on panic: a torn-down arena must not re-enter the pool.
+	sessionPool.Put(s)
 	if err != nil {
 		return RunResult{}, err
-	}
-	if err := gov.Attach(eng, coreCPU); err != nil {
-		return RunResult{}, err
-	}
-	defer gov.Detach()
-
-	bw, rrcCfg, err := buildBandwidth(cfg)
-	if err != nil {
-		return RunResult{}, err
-	}
-	radio, err := netsim.NewRadio(eng, rrcCfg)
-	if err != nil {
-		return RunResult{}, err
-	}
-	if tr != nil {
-		radio.SetTracer(tr)
-	}
-	radio.OnPower(tracedListener(meter, energy.ComponentRadio, tr))
-
-	dl, err := netsim.NewDownloader(eng, bw, radio, coreCPU, netsim.DefaultDownloaderConfig())
-	if err != nil {
-		return RunResult{}, err
-	}
-
-	var thermal *cpu.Thermal
-	if cfg.Thermal != nil {
-		thermal, err = cpu.StartThermal(eng, coreCPU, *cfg.Thermal)
-		if err != nil {
-			return RunResult{}, err
-		}
-		defer thermal.Stop()
-	}
-
-	var bg *cpu.LoadGen
-	if cfg.Background {
-		bg, err = cpu.StartLoadGen(eng, coreCPU, sim.Stream(cfg.Seed, "bgload"), cpu.DefaultLoadGenConfig())
-		if err != nil {
-			return RunResult{}, err
-		}
-	}
-
-	renditions, algo, err := buildRenditions(cfg)
-	if err != nil {
-		return RunResult{}, err
-	}
-
-	pcfg := player.DefaultConfig()
-	if cfg.SegmentDur > 0 {
-		pcfg.SegmentDur = cfg.SegmentDur
-	}
-	pcfg.ABR = algo
-	pcfg.Hooks = hooks
-	pcfg.Meter = meter
-	pcfg.Tracer = tr
-	if cfg.LowLatency {
-		pcfg.StartupSec = 1
-		pcfg.ResumeSec = 0.5
-		pcfg.MaxBufferSec = 4
-		pcfg.DecodedQueueCap = 3
-	}
-	if cfg.DecodedQueueCap > 0 {
-		pcfg.DecodedQueueCap = cfg.DecodedQueueCap
-	}
-	pcfg.LowWaterSec = cfg.LowWaterSec
-	sess, err := player.NewSession(eng, coreCPU, dl, renditions, pcfg)
-	if err != nil {
-		return RunResult{}, err
-	}
-	var probe *sim.Ticker
-	if cfg.OnSample != nil {
-		probe = sim.NewTicker(eng, 100*sim.Millisecond, func(now sim.Time) {
-			cfg.OnSample(now, coreCPU.FreqHz()/1e9, coreCPU.Power(), sess.BufferSec())
-		})
-	}
-	sess.OnDone(func() {
-		if bg != nil {
-			bg.Stop()
-		}
-		if probe != nil {
-			probe.Stop()
-		}
-		eng.Stop()
-	})
-	sess.Start()
-
-	horizon := cfg.Duration*6 + 60*sim.Second
-	if cfg.Horizon > 0 {
-		horizon = cfg.Horizon
-	}
-	end := eng.RunUntil(horizon)
-	meter.Finish()
-
-	if closeTrace != nil {
-		closed = true
-		if cerr := closeTrace(); cerr != nil {
-			return RunResult{}, fmt.Errorf("experiments: trace sink: %w", cerr)
-		}
-	}
-
-	if err := sess.Err(); err != nil {
-		return RunResult{}, fmt.Errorf("experiments: session: %w", err)
-	}
-	if chk != nil {
-		m := sess.Metrics()
-		counts := sess.Decoder().Counts()
-		rrcRes := make(map[string]sim.Time, 4)
-		for state, d := range radio.Residency() {
-			rrcRes[state.String()] = d
-		}
-		if v := chk.Finalize(invariant.Final{
-			End:           eng.Now(),
-			CPUJ:          meter.ComponentJ(energy.ComponentCPU),
-			RadioJ:        meter.ComponentJ(energy.ComponentRadio),
-			DisplayJ:      meter.ComponentJ(energy.ComponentDisplay),
-			FreqResidency: coreCPU.FreqResidency(),
-			RRCResidency:  rrcRes,
-			IdleResidency: coreCPU.IdleStateResidency(),
-			Displayed:     m.DisplayedFrames,
-			Dropped:       m.DroppedFrames,
-			Total:         m.TotalFrames,
-			Decoded:       counts.Decoded,
-			Discarded:     counts.Discarded,
-			ReadyLeft:     sess.Decoder().ReadyLen(),
-			Completed:     m.Completed,
-		}); v != nil {
-			return RunResult{}, fmt.Errorf("experiments: strict: %w", v)
-		}
-	}
-	if m := sess.Metrics(); !m.Completed && end >= horizon {
-		return RunResult{}, fmt.Errorf("experiments: %w: session at %d/%d frames when the %v horizon hit",
-			ErrHorizonExceeded, m.DisplayedFrames+m.DroppedFrames, m.TotalFrames, horizon)
-	}
-	if dl.Err() != nil {
-		return RunResult{}, fmt.Errorf("experiments: downloader: %w", dl.Err())
-	}
-	if bg != nil && bg.Err() != nil {
-		return RunResult{}, fmt.Errorf("experiments: background load: %w", bg.Err())
-	}
-
-	res := RunResult{
-		Governor:        gov.Name(),
-		CPUJ:            meter.ComponentJ(energy.ComponentCPU),
-		RadioJ:          meter.ComponentJ(energy.ComponentRadio),
-		DisplayJ:        meter.ComponentJ(energy.ComponentDisplay),
-		QoE:             sess.Metrics(),
-		FreqResidency:   coreCPU.FreqResidency(),
-		RadioResidency:  radio.Residency(),
-		RadioPromotions: radio.Promotions(),
-		Fetches:         dl.Fetches(),
-		SimEnd:          eng.Now(),
-	}
-	res.MeanFreqGHz = meanFreqGHz(cfg.Device, res.FreqResidency)
-	res.IdleResidency = coreCPU.IdleStateResidency()
-	res.OPPTransitions = coreCPU.Transitions()
-	if thermal != nil {
-		res.MaxTempC = thermal.MaxTempC()
-		res.ThrottleEvents = thermal.ThrottleEvents()
-		res.ThrottledS = thermal.ThrottledTime().Seconds()
-	}
-	if eaGov != nil {
-		st := eaGov.PredStats()
-		res.Pred = &st
 	}
 	return res, nil
 }

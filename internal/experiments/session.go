@@ -1,0 +1,562 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"videodvfs/internal/abr"
+	"videodvfs/internal/core"
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/energy"
+	"videodvfs/internal/governor"
+	"videodvfs/internal/invariant"
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/player"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
+	"videodvfs/internal/video"
+)
+
+// Session is a reusable simulation arena: one full simulator instance —
+// engine event slab, CPU core with its job pools, radio, downloader,
+// player, energy meter, background load generator, and the energy-aware
+// governor — whose parts are rewound in place by Reset instead of being
+// reconstructed per run. Stream and bandwidth tables are shared immutably
+// across resets (and across arenas, via the package caches).
+//
+// A Session is single-goroutine: drive it with Reset+Finish or RunInto.
+// The package-level Run draws Sessions from an internal pool, so campaign
+// workers and dvfsd recycle arenas without holding one explicitly.
+//
+// Determinism: a reset arena replays the exact construction order of a
+// fresh run — component wiring, event scheduling, and RNG derivation — so
+// results and traces are byte-identical to a fresh simulator's. The
+// differential tests in reset_test.go pin that equivalence across the whole
+// experiment registry, including cross-config recycling.
+type Session struct {
+	eng   *sim.Engine
+	meter *energy.Meter
+
+	core  *cpu.Core
+	radio *netsim.Radio
+	dl    *netsim.Downloader
+	ps    *player.Session
+	ea    *core.Governor
+	bg    *cpu.LoadGen
+	bgRNG *sim.RNG
+	batch *trace.Batcher
+
+	// Pre-bound untraced power listeners and the session-done callback:
+	// constructed once so the reset path re-registers closures without
+	// allocating them.
+	cpuPowerFn   func(now sim.Time, watts float64)
+	radioPowerFn func(now sim.Time, watts float64)
+	stopFn       func()
+
+	bgActive bool
+	probe    *sim.Ticker
+
+	// Arena-local memos for the package caches: sync.Map lookups box
+	// their struct keys (an allocation per call), so same-config reruns
+	// short-circuit here.
+	lastBWNet   NetKind
+	lastBWDur   sim.Time
+	lastBWSeed  int64
+	lastBW      netsim.Bandwidth
+	lastRRC     netsim.RRCConfig
+	lastRendKey streamKey
+	lastRends   []*video.Stream
+	traceRends  []*video.Stream
+
+	run runState
+}
+
+// runState is the per-run wiring established by Reset and consumed by
+// Finish.
+type runState struct {
+	cfg        RunConfig // defaults applied
+	gov        governor.Governor
+	eaGov      *core.Governor
+	chk        *invariant.Checker
+	tr         trace.Tracer
+	batch      *trace.Batcher
+	closeTrace func() error
+	closed     bool
+	thermal    *cpu.Thermal
+	horizon    sim.Time
+	armed      bool
+}
+
+// NewSession returns an empty arena. The simulator parts are built on the
+// first Reset (they need a config) and recycled by every later one.
+func NewSession() *Session {
+	s := &Session{}
+	s.eng = sim.NewEngine()
+	s.meter = energy.NewMeter(s.eng)
+	s.cpuPowerFn = s.meter.Listener(energy.ComponentCPU)
+	s.radioPowerFn = s.meter.Listener(energy.ComponentRadio)
+	s.stopFn = func() {
+		if s.bgActive {
+			s.bg.Stop()
+		}
+		if s.probe != nil {
+			s.probe.Stop()
+		}
+		s.eng.Stop()
+	}
+	return s
+}
+
+// sessionPool recycles arenas across Run calls.
+var sessionPool = sync.Pool{New: func() any { return NewSession() }}
+
+// sessionReuseOff disables the arena pool when set (fresh Session per Run).
+// Inverted so the zero value means "reuse on".
+var sessionReuseOff atomic.Bool
+
+// SetSessionReuse toggles arena recycling in Run and returns the previous
+// setting. Reuse is on by default; the differential tests switch it off to
+// produce fresh-simulator references.
+func SetSessionReuse(on bool) (prev bool) {
+	return !sessionReuseOff.Swap(!on)
+}
+
+// RunInto executes one simulation in this arena, writing the outcome into
+// res. Maps and slices already present in res are reused (cleared and
+// refilled), so a caller recycling both the Session and the RunResult runs
+// allocation-free after warm-up. On error res is left in an unspecified
+// state.
+func (s *Session) RunInto(cfg RunConfig, res *RunResult) error {
+	if err := s.Reset(cfg); err != nil {
+		return err
+	}
+	return s.Finish(res)
+}
+
+// Reset rewinds the arena and wires it for cfg, exactly as a fresh
+// simulator construction would: same component order, same event-schedule
+// order, same RNG derivations. It validates cfg, applies defaults, and
+// leaves the arena armed; Finish drives the run to completion. A Reset
+// invalidates everything scheduled by the previous run — including one cut
+// short by an error or horizon — via the engine's generation bump.
+func (s *Session) Reset(cfg RunConfig) (err error) {
+	if cfg.Trace != nil && cfg.Duration <= 0 {
+		cfg.Duration = cfg.Trace.Duration()
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = cpu.DeviceFlagship()
+	}
+	if cfg.Title.Name == "" {
+		cfg.Title = video.TitleSports
+	}
+	if cfg.Rung.Name == "" {
+		cfg.Rung = video.R720p
+	}
+	if s.run.armed {
+		// A previous Reset was abandoned without Finish: tear down its
+		// per-run wiring (thermal sampler, trace sink) before rearming.
+		s.release()
+	}
+	s.run = runState{cfg: cfg}
+	defer func() {
+		if err != nil {
+			s.release()
+		}
+	}()
+
+	tr := cfg.Tracer
+	if tr == nil {
+		if f := currentTraceFactory(); f != nil {
+			tr, s.run.closeTrace = f(cfg)
+		}
+	}
+	s.run.chk = buildChecker(cfg)
+	if s.run.chk != nil {
+		// The checker rides first in the tee; it only observes, so every
+		// downstream tracer sees the identical stream.
+		if tr == nil {
+			tr = s.run.chk
+		} else {
+			tr = trace.Tee{s.run.chk, tr}
+		}
+	}
+	if tr != nil {
+		// Batch tracer emission: hot-path emits append into typed slices,
+		// the downstream chain (checker → sink) runs in flushes. The
+		// batcher preserves exact event order, so output is unchanged.
+		if s.batch == nil {
+			s.batch = trace.NewBatcher(tr)
+		} else {
+			s.batch.SetOutput(tr)
+		}
+		s.run.batch = s.batch
+		tr = s.batch
+	}
+	s.run.tr = tr
+
+	s.eng.Reset()
+	s.meter.Reset()
+	s.probe = nil
+	s.bgActive = false
+
+	if s.core == nil {
+		s.core, err = cpu.NewCore(s.eng, cfg.Device)
+		if err != nil {
+			return err
+		}
+	} else if err := s.core.Reset(cfg.Device); err != nil {
+		return err
+	}
+	if cfg.CStates {
+		if err := s.core.EnableCStates(cpu.DefaultCStates()); err != nil {
+			return err
+		}
+	}
+	if tr != nil {
+		s.core.SetTracer(tr)
+	}
+	if tr != nil {
+		s.core.OnPower(tracedListener(s.meter, energy.ComponentCPU, tr))
+	} else {
+		s.core.OnPower(s.cpuPowerFn)
+	}
+
+	gov, hooks, eaGov, err := s.governorFor(cfg, tr)
+	if err != nil {
+		return err
+	}
+	if err := gov.Attach(s.eng, s.core); err != nil {
+		return err
+	}
+	s.run.gov = gov
+	s.run.eaGov = eaGov
+
+	bw, rrcCfg, err := s.bandwidthFor(cfg)
+	if err != nil {
+		return err
+	}
+	if s.radio == nil {
+		s.radio, err = netsim.NewRadio(s.eng, rrcCfg)
+		if err != nil {
+			return err
+		}
+	} else if err := s.radio.Reset(rrcCfg); err != nil {
+		return err
+	}
+	if tr != nil {
+		s.radio.SetTracer(tr)
+	}
+	if tr != nil {
+		s.radio.OnPower(tracedListener(s.meter, energy.ComponentRadio, tr))
+	} else {
+		s.radio.OnPower(s.radioPowerFn)
+	}
+
+	if s.dl == nil {
+		s.dl, err = netsim.NewDownloader(s.eng, bw, s.radio, s.core, netsim.DefaultDownloaderConfig())
+		if err != nil {
+			return err
+		}
+	} else if err := s.dl.Reset(bw, netsim.DefaultDownloaderConfig()); err != nil {
+		return err
+	}
+
+	if cfg.Thermal != nil {
+		s.run.thermal, err = cpu.StartThermal(s.eng, s.core, *cfg.Thermal)
+		if err != nil {
+			return err
+		}
+	}
+
+	if cfg.Background {
+		if s.bg == nil {
+			s.bgRNG = sim.Stream(cfg.Seed, "bgload")
+			s.bg, err = cpu.StartLoadGen(s.eng, s.core, s.bgRNG, cpu.DefaultLoadGenConfig())
+			if err != nil {
+				return err
+			}
+		} else {
+			// Reseeding reproduces the exact stream a fresh
+			// sim.Stream(seed, "bgload") would draw.
+			s.bgRNG.Reseed(sim.ChildSeed(cfg.Seed, "bgload"))
+			if err := s.bg.Restart(cpu.DefaultLoadGenConfig()); err != nil {
+				return err
+			}
+		}
+		s.bgActive = true
+	}
+
+	renditions, algo, err := s.renditionsFor(cfg)
+	if err != nil {
+		return err
+	}
+
+	pcfg := player.DefaultConfig()
+	if cfg.SegmentDur > 0 {
+		pcfg.SegmentDur = cfg.SegmentDur
+	}
+	pcfg.ABR = algo
+	pcfg.Hooks = hooks
+	pcfg.Meter = s.meter
+	pcfg.Tracer = tr
+	if cfg.LowLatency {
+		pcfg.StartupSec = 1
+		pcfg.ResumeSec = 0.5
+		pcfg.MaxBufferSec = 4
+		pcfg.DecodedQueueCap = 3
+	}
+	if cfg.DecodedQueueCap > 0 {
+		pcfg.DecodedQueueCap = cfg.DecodedQueueCap
+	}
+	pcfg.LowWaterSec = cfg.LowWaterSec
+	if s.ps == nil {
+		s.ps, err = player.NewSession(s.eng, s.core, s.dl, renditions, pcfg)
+		if err != nil {
+			return err
+		}
+	} else if err := s.ps.Reset(renditions, pcfg); err != nil {
+		return err
+	}
+
+	if cfg.OnSample != nil {
+		onSample := cfg.OnSample
+		s.probe = sim.NewTicker(s.eng, 100*sim.Millisecond, func(now sim.Time) {
+			onSample(now, s.core.FreqHz()/1e9, s.core.Power(), s.ps.BufferSec())
+		})
+	}
+	s.ps.OnDone(s.stopFn)
+
+	s.run.horizon = cfg.Duration*6 + 60*sim.Second
+	if cfg.Horizon > 0 {
+		s.run.horizon = cfg.Horizon
+	}
+	s.run.armed = true
+	return nil
+}
+
+// Finish drives an armed arena to completion and collects the outcome into
+// res, reusing res's maps and slices when present.
+func (s *Session) Finish(res *RunResult) error {
+	if !s.run.armed {
+		return fmt.Errorf("experiments: session not armed; call Reset first")
+	}
+	s.run.armed = false
+	cfg := s.run.cfg
+	defer s.release()
+
+	s.ps.Start()
+	end := s.eng.RunUntil(s.run.horizon)
+	s.meter.Finish()
+	if s.run.batch != nil {
+		s.run.batch.Flush()
+	}
+
+	if s.run.closeTrace != nil {
+		s.run.closed = true
+		if cerr := s.run.closeTrace(); cerr != nil {
+			return fmt.Errorf("experiments: trace sink: %w", cerr)
+		}
+	}
+
+	if err := s.ps.Err(); err != nil {
+		return fmt.Errorf("experiments: session: %w", err)
+	}
+	if chk := s.run.chk; chk != nil {
+		m := s.ps.Metrics()
+		counts := s.ps.Decoder().Counts()
+		rrcRes := make(map[string]sim.Time, 4)
+		for state, d := range s.radio.Residency() {
+			rrcRes[state.String()] = d
+		}
+		if v := chk.Finalize(invariant.Final{
+			End:           s.eng.Now(),
+			CPUJ:          s.meter.ComponentJ(energy.ComponentCPU),
+			RadioJ:        s.meter.ComponentJ(energy.ComponentRadio),
+			DisplayJ:      s.meter.ComponentJ(energy.ComponentDisplay),
+			FreqResidency: s.core.FreqResidency(),
+			RRCResidency:  rrcRes,
+			IdleResidency: s.core.IdleStateResidency(),
+			Displayed:     m.DisplayedFrames,
+			Dropped:       m.DroppedFrames,
+			Total:         m.TotalFrames,
+			Decoded:       counts.Decoded,
+			Discarded:     counts.Discarded,
+			ReadyLeft:     s.ps.Decoder().ReadyLen(),
+			Completed:     m.Completed,
+		}); v != nil {
+			return fmt.Errorf("experiments: strict: %w", v)
+		}
+	}
+	if m := s.ps.Metrics(); !m.Completed && end >= s.run.horizon {
+		return fmt.Errorf("experiments: %w: session at %d/%d frames when the %v horizon hit",
+			ErrHorizonExceeded, m.DisplayedFrames+m.DroppedFrames, m.TotalFrames, s.run.horizon)
+	}
+	if s.dl.Err() != nil {
+		return fmt.Errorf("experiments: downloader: %w", s.dl.Err())
+	}
+	if s.bgActive && s.bg.Err() != nil {
+		return fmt.Errorf("experiments: background load: %w", s.bg.Err())
+	}
+
+	res.Governor = s.run.gov.Name()
+	res.CPUJ = s.meter.ComponentJ(energy.ComponentCPU)
+	res.RadioJ = s.meter.ComponentJ(energy.ComponentRadio)
+	res.DisplayJ = s.meter.ComponentJ(energy.ComponentDisplay)
+	res.QoE = s.ps.Metrics()
+	if res.FreqResidency == nil {
+		res.FreqResidency = make(map[int]sim.Time, len(cfg.Device.OPPs))
+	}
+	s.core.FreqResidencyInto(res.FreqResidency)
+	if res.RadioResidency == nil {
+		res.RadioResidency = make(map[netsim.RRCState]sim.Time, 4)
+	}
+	s.radio.ResidencyInto(res.RadioResidency)
+	res.RadioPromotions = s.radio.Promotions()
+	res.Fetches = s.dl.Fetches()
+	res.SimEnd = s.eng.Now()
+	res.MeanFreqGHz = meanFreqGHz(cfg.Device, res.FreqResidency)
+	if cfg.CStates {
+		if res.IdleResidency == nil {
+			res.IdleResidency = make(map[string]sim.Time, 4)
+		}
+		s.core.IdleStateResidencyInto(res.IdleResidency)
+	} else {
+		// A nil map, not an emptied one: it must compare equal to a fresh
+		// run's result, which never allocates the map without C-states.
+		res.IdleResidency = nil
+	}
+	res.OPPTransitions = s.core.Transitions()
+	res.MaxTempC, res.ThrottleEvents, res.ThrottledS = 0, 0, 0
+	if s.run.thermal != nil {
+		res.MaxTempC = s.run.thermal.MaxTempC()
+		res.ThrottleEvents = s.run.thermal.ThrottleEvents()
+		res.ThrottledS = s.run.thermal.ThrottledTime().Seconds()
+	}
+	if s.run.eaGov != nil {
+		// Copy the stats out: the governor's RelErr backing array is
+		// recycled by the next Reset, so the result must own its slice.
+		st := s.run.eaGov.PredStats()
+		if res.Pred == nil {
+			res.Pred = new(core.PredictionStats)
+		}
+		res.Pred.N = st.N
+		res.Pred.Underestimates = st.Underestimates
+		res.Pred.RelErr = append(res.Pred.RelErr[:0], st.RelErr...)
+	} else {
+		res.Pred = nil
+	}
+	return nil
+}
+
+// release tears down the per-run wiring: thermal sampler, governor ticker,
+// and (on error paths) the trace sink, after a best-effort flush.
+func (s *Session) release() {
+	if s.run.batch != nil && s.run.closeTrace != nil && !s.run.closed {
+		s.run.batch.Flush()
+	}
+	if s.run.closeTrace != nil && !s.run.closed {
+		s.run.closeTrace() // error path: best-effort flush
+	}
+	if s.run.thermal != nil {
+		s.run.thermal.Stop()
+	}
+	if s.run.gov != nil {
+		s.run.gov.Detach()
+	}
+	s.run = runState{}
+}
+
+// governorFor resolves the run's governor, recycling the arena's
+// energy-aware instance (predictor state and decision tables rewound in
+// place); the oracle and the stock baselines are constructed fresh — they
+// are allocation-light and keep per-run sampling state.
+func (s *Session) governorFor(cfg RunConfig, tr trace.Tracer) (governor.Governor, player.SessionHooks, *core.Governor, error) {
+	if cfg.Governor != GovEnergyAware {
+		return buildGovernor(cfg, tr)
+	}
+	pol := cfg.Policy
+	if pol == (core.Config{}) {
+		pol = core.DefaultConfig()
+	}
+	if s.ea == nil {
+		g, err := core.New(pol)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s.ea = g
+	} else if err := s.ea.Reset(pol); err != nil {
+		return nil, nil, nil, err
+	}
+	if tr != nil {
+		s.ea.SetTracer(tr)
+	}
+	return s.ea, s.ea, s.ea, nil
+}
+
+// bandwidthFor resolves the run's bandwidth model and RRC profile through
+// the arena-local memo, falling back to the package caches.
+func (s *Session) bandwidthFor(cfg RunConfig) (netsim.Bandwidth, netsim.RRCConfig, error) {
+	if s.lastBW != nil && cfg.Net == s.lastBWNet && cfg.Duration == s.lastBWDur && cfg.Seed == s.lastBWSeed {
+		rrc := s.lastRRC
+		if cfg.RRC != nil {
+			rrc = *cfg.RRC
+		}
+		return s.lastBW, rrc, nil
+	}
+	bw, rrc, err := buildBandwidthBase(cfg)
+	if err != nil {
+		return nil, rrc, err
+	}
+	s.lastBWNet, s.lastBWDur, s.lastBWSeed = cfg.Net, cfg.Duration, cfg.Seed
+	s.lastBW, s.lastRRC = bw, rrc
+	if cfg.RRC != nil {
+		rrc = *cfg.RRC
+	}
+	return bw, rrc, nil
+}
+
+// renditionsFor resolves the run's rendition set through the arena-local
+// memo (fixed-rung runs only; ladder runs keep a fresh stateful ABR
+// instance and hit the package cache for their streams).
+func (s *Session) renditionsFor(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
+	if cfg.Trace != nil {
+		if len(cfg.Trace.Frames) == 0 {
+			return nil, nil, fmt.Errorf("experiments: empty frame trace")
+		}
+		if s.traceRends == nil {
+			s.traceRends = make([]*video.Stream, 1)
+		}
+		s.traceRends[0] = cfg.Trace
+		return s.traceRends, abrFixed0, nil
+	}
+	switch cfg.ABR {
+	case "", ABRFixed:
+		fps := cfg.FPS
+		if fps == 0 {
+			fps = 30
+		}
+		key := streamKey{
+			title: cfg.Title,
+			rung:  cfg.Rung,
+			codec: cfg.Codec,
+			fps:   fps,
+			dur:   cfg.Duration,
+			seed:  cfg.Seed,
+		}
+		if s.lastRends != nil && key == s.lastRendKey {
+			return s.lastRends, abrFixed0, nil
+		}
+		streams, algo, err := buildRenditions(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.lastRendKey, s.lastRends = key, streams
+		return streams, algo, nil
+	default:
+		return buildRenditions(cfg)
+	}
+}

@@ -100,6 +100,37 @@ func NewDownloader(eng *sim.Engine, bw Bandwidth, radio *Radio, core *cpu.Core, 
 	return d, nil
 }
 
+// Reset rewinds the downloader to the state NewDownloader would construct
+// for (bw, cfg), keeping its allocations: the fetch queue backing array,
+// the job pool, and the pre-bound streaming callbacks survive. The
+// activity listener is dropped (the next run re-registers its own). The
+// owning engine and radio must be reset alongside; any in-flight fetch is
+// simply forgotten here.
+func (d *Downloader) Reset(bw Bandwidth, cfg DownloaderConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if bw == nil {
+		return fmt.Errorf("downloader: bandwidth is required")
+	}
+	d.bw = bw
+	d.cfg = cfg
+	d.busy = false
+	for i := range d.queue {
+		d.queue[i] = fetchReq{}
+	}
+	d.queue = d.queue[:0]
+	d.qhead = 0
+	d.bitsRx = 0
+	d.fetches = 0
+	d.subErr = nil
+	d.curBits = 0
+	d.curDone = nil
+	d.spanBits = 0
+	d.onActive = nil
+	return nil
+}
+
 // OnActive registers a listener for download activity transitions (used by
 // the network-coordinating governor).
 func (d *Downloader) OnActive(fn func(now sim.Time, active bool)) { d.onActive = fn }

@@ -149,6 +149,40 @@ func NewRadio(eng *sim.Engine, cfg RRCConfig) (*Radio, error) {
 	return r, nil
 }
 
+// Reset rewinds the radio to the state NewRadio would construct for cfg,
+// keeping its allocations: the waiter double buffer, the tail timeouts,
+// and the pre-bound promotion callback survive. Listeners and the tracer
+// are dropped (the next run re-registers its own). The owning engine must
+// be reset alongside: pending tail expiries and promotions are simply
+// forgotten here, which the engine reset's generation bump makes safe.
+func (r *Radio) Reset(cfg RRCConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	r.cfg = cfg
+	r.state = StateIdle
+	r.transferring = false
+	r.promoting = false
+	for i := range r.waiters {
+		r.waiters[i] = nil
+	}
+	r.waiters = r.waiters[:0]
+	for i := range r.waitersSpare {
+		r.waitersSpare[i] = nil
+	}
+	r.waitersSpare = r.waitersSpare[:0]
+	r.t1.Rebind(cfg.T1)
+	r.t2.Rebind(cfg.T2)
+	r.promoEv = sim.Event{}
+	r.onPower = nil
+	r.onState = nil
+	r.tracer = nil
+	r.dwell = [StateDCH + 1]sim.Time{}
+	r.lastDwell = 0
+	r.promos = 0
+	return nil
+}
+
 // State returns the current RRC state.
 func (r *Radio) State() RRCState { return r.state }
 
@@ -187,13 +221,21 @@ func (r *Radio) Power() float64 {
 // Residency returns seconds spent in each state so far.
 func (r *Radio) Residency() map[RRCState]sim.Time {
 	out := make(map[RRCState]sim.Time, len(r.dwell))
+	r.ResidencyInto(out)
+	return out
+}
+
+// ResidencyInto fills out with seconds spent in each state so far,
+// clearing it first. It is the allocation-free variant of Residency for
+// result structs that recycle their maps across runs.
+func (r *Radio) ResidencyInto(out map[RRCState]sim.Time) {
+	clear(out)
 	for s, v := range r.dwell {
 		if v > 0 {
 			out[RRCState(s)] = v
 		}
 	}
 	out[r.state] += r.eng.Now() - r.lastDwell
-	return out
 }
 
 func (r *Radio) emitPower() {

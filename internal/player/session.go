@@ -33,9 +33,14 @@ type Session struct {
 	renditions []*video.Stream
 	segments   [][]video.Segment
 	rates      []float64
-	fps        float64
-	numSegs    int
-	total      int
+	// segSrc/segDur record which stream (by pointer) and segment duration
+	// each segments entry was computed from, so Reset can keep segment
+	// tables when a recycled session replays the same immutable streams.
+	segSrc  []*video.Stream
+	segDur  sim.Time
+	fps     float64
+	numSegs int
+	total   int
 
 	dec *decode.Decoder
 
@@ -74,6 +79,11 @@ type Session struct {
 
 	audioTicker *sim.Ticker
 	audioPool   cpu.JobPool
+
+	// activityFn is the pre-bound downloader-activity listener; it reads
+	// s.hooks at call time, so re-registering it after a fetcher reset
+	// routes to whatever hooks the current run installed.
+	activityFn func(now sim.Time, active bool)
 }
 
 // NewSession builds a session over scene-aligned renditions (one per
@@ -81,25 +91,53 @@ type Session struct {
 // ABR). core may be a single cpu.Core or a cluster router implementing
 // decode.Submitter.
 func NewSession(eng *sim.Engine, core decode.Submitter, fet Fetcher, renditions []*video.Stream, cfg Config) (*Session, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	if len(renditions) == 0 {
-		return nil, fmt.Errorf("player: no renditions")
-	}
 	if fet == nil || core == nil {
 		return nil, fmt.Errorf("player: fetcher and core are required")
+	}
+	s := &Session{
+		eng:      eng,
+		core:     core,
+		fet:      fet,
+		lastRung: -1,
+		tput:     stats.NewEWMA(cfg.ThroughputAlpha),
+	}
+	if err := s.configure(renditions, cfg); err != nil {
+		return nil, err
+	}
+	s.tickFn = s.tick
+	s.fetchDoneFn = s.fetchDone
+	s.activityFn = func(now sim.Time, active bool) { s.hooks.DownloadActivity(now, active) }
+	dec, err := decode.New(eng, core, cfg.DecodedQueueCap, s.deadlineOf, s.hooks)
+	if err != nil {
+		return nil, err
+	}
+	s.dec = dec
+	dec.OnReady(func(video.Frame) { s.tryStartOrResume() })
+	fet.OnActive(s.activityFn)
+	return s, nil
+}
+
+// configure validates (renditions, cfg) and installs them: config, wrapped
+// hooks, bitrate table, and per-rung segment tables, reusing any segment
+// table whose source stream and segment duration are unchanged (streams
+// are immutable after generation, so identity implies identical segments).
+func (s *Session) configure(renditions []*video.Stream, cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if len(renditions) == 0 {
+		return fmt.Errorf("player: no renditions")
 	}
 	base := renditions[0]
 	for i, r := range renditions {
 		if len(r.Frames) != len(base.Frames) {
-			return nil, fmt.Errorf("player: rendition %d has %d frames, rung 0 has %d", i, len(r.Frames), len(base.Frames))
+			return fmt.Errorf("player: rendition %d has %d frames, rung 0 has %d", i, len(r.Frames), len(base.Frames))
 		}
 		if r.Spec.FPS != base.Spec.FPS {
-			return nil, fmt.Errorf("player: rendition %d fps %v differs from rung 0 (%v)", i, r.Spec.FPS, base.Spec.FPS)
+			return fmt.Errorf("player: rendition %d fps %v differs from rung 0 (%v)", i, r.Spec.FPS, base.Spec.FPS)
 		}
 		if i > 0 && r.Spec.BitrateBps <= renditions[i-1].Spec.BitrateBps {
-			return nil, fmt.Errorf("player: renditions not ascending by bitrate at %d", i)
+			return fmt.Errorf("player: renditions not ascending by bitrate at %d", i)
 		}
 	}
 	hooks := cfg.Hooks
@@ -109,39 +147,80 @@ func NewSession(eng *sim.Engine, core decode.Submitter, fet Fetcher, renditions 
 	if cfg.Tracer != nil {
 		hooks = tracingHooks{SessionHooks: hooks, tr: cfg.Tracer}
 	}
-	s := &Session{
-		eng:        eng,
-		core:       core,
-		fet:        fet,
-		cfg:        cfg,
-		hooks:      hooks,
-		renditions: renditions,
-		fps:        base.Spec.FPS,
-		total:      len(base.Frames),
-		lastRung:   -1,
-		tput:       stats.NewEWMA(cfg.ThroughputAlpha),
+	s.cfg = cfg
+	s.hooks = hooks
+	s.renditions = renditions
+	s.fps = base.Spec.FPS
+	s.total = len(base.Frames)
+	if cap(s.rates) < len(renditions) {
+		s.rates = make([]float64, len(renditions))
+		s.segments = make([][]video.Segment, len(renditions))
+		s.segSrc = make([]*video.Stream, len(renditions))
+	} else {
+		s.rates = s.rates[:len(renditions)]
+		s.segments = s.segments[:len(renditions)]
+		s.segSrc = s.segSrc[:len(renditions)]
 	}
-	s.rates = make([]float64, len(renditions))
-	s.segments = make([][]video.Segment, len(renditions))
 	for i, r := range renditions {
 		s.rates[i] = r.Spec.BitrateBps
+		if s.segSrc[i] == r && s.segDur == cfg.SegmentDur {
+			continue
+		}
 		segs, err := video.Segmentize(r, cfg.SegmentDur)
 		if err != nil {
-			return nil, fmt.Errorf("player: rendition %d: %w", i, err)
+			s.segSrc[i] = nil
+			return fmt.Errorf("player: rendition %d: %w", i, err)
 		}
 		s.segments[i] = segs
+		s.segSrc[i] = r
 	}
+	s.segDur = cfg.SegmentDur
 	s.numSegs = len(s.segments[0])
-	s.tickFn = s.tick
-	s.fetchDoneFn = s.fetchDone
-	dec, err := decode.New(eng, core, cfg.DecodedQueueCap, s.deadlineOf, hooks)
-	if err != nil {
-		return nil, err
+	return nil
+}
+
+// Reset rewinds the session to the state NewSession would construct for
+// (renditions, cfg), keeping its allocations: segment tables for unchanged
+// streams, the completion-callback list's backing array, the decoder (and
+// its queues and job pool), and every pre-bound callback survive. The
+// engine, core, and fetcher the session was built over must be reset
+// alongside by the caller; the fetcher's activity listener is re-registered
+// here since a fetcher reset drops it.
+func (s *Session) Reset(renditions []*video.Stream, cfg Config) error {
+	if err := s.configure(renditions, cfg); err != nil {
+		return err
 	}
-	s.dec = dec
-	dec.OnReady(func(video.Frame) { s.tryStartOrResume() })
-	fet.OnActive(func(now sim.Time, active bool) { s.hooks.DownloadActivity(now, active) })
-	return s, nil
+	if err := s.dec.Reset(cfg.DecodedQueueCap, s.hooks); err != nil {
+		return err
+	}
+	s.fet.OnActive(s.activityFn)
+	s.nextSeg = 0
+	s.lastRung = -1
+	s.fetching = false
+	s.draining = false
+	s.tput.Reinit(cfg.ThroughputAlpha)
+	s.bitsSum = 0
+	s.segsSum = 0
+	s.downLoade = 0
+	s.fetchRung = 0
+	s.fetchSeg = video.Segment{}
+	s.fetchStart = 0
+	s.started = false
+	s.playing = false
+	s.playhead = 0
+	s.nextTickAt = 0
+	s.tickEv = sim.Event{}
+	s.stallStart = 0
+	s.startedAt = 0
+	s.metrics = Metrics{}
+	s.done = false
+	for i := range s.onDone {
+		s.onDone[i] = nil
+	}
+	s.onDone = s.onDone[:0]
+	s.err = nil
+	s.audioTicker = nil
+	return nil
 }
 
 // Start begins fetching; playback starts once the startup buffer fills.

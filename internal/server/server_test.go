@@ -469,6 +469,83 @@ func TestSweepRoundTrip(t *testing.T) {
 	readAll(t, single)
 }
 
+// runSweepOutcomes posts one sweep and returns the raw per-point run
+// bodies — the exact bytes the content-addressed cache stores.
+func runSweepOutcomes(t *testing.T, url, req string) []json.RawMessage {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	var body struct {
+		Outcomes []struct {
+			Run   json.RawMessage `json:"run"`
+			Error string          `json:"error"`
+		} `json:"outcomes"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &body); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]json.RawMessage, len(body.Outcomes))
+	for i, o := range body.Outcomes {
+		if o.Error != "" {
+			t.Fatalf("sweep point %d failed: %s", i, o.Error)
+		}
+		out[i] = o.Run
+	}
+	return out
+}
+
+// TestSweepRecycledSessionCacheBytes pins the daemon's arena-reuse
+// contract: cache-miss sweep points computed on RECYCLED sessions (the
+// production default — workers draw battered arenas from the pool) must
+// write byte-identical ConfigKey cache entries to the same sweep computed
+// on fresh-per-run sessions. The pool is deliberately dirtied first with
+// dissimilar configs so the sweep's misses land on recycled arenas, not
+// pristine ones.
+func TestSweepRecycledSessionCacheBytes(t *testing.T) {
+	const sweepReq = `{"base": {"duration_s": 6, "seed": 9},
+		"governors": ["performance", "ondemand", "energyaware"], "seed_range": [9, 10]}`
+
+	defer experiments.SetSessionReuse(experiments.SetSessionReuse(false))
+	_, freshTS := newTestServer(t, Config{Workers: 2})
+	freshRuns := runSweepOutcomes(t, freshTS.URL, sweepReq)
+
+	experiments.SetSessionReuse(true)
+	_, recycledTS := newTestServer(t, Config{Workers: 2})
+	// Dirty the arena pool: runs whose device, network, idle model, and
+	// ABR all differ from the sweep's points.
+	for _, warm := range []string{
+		`{"duration_s": 4, "device": "midrange", "net": "lte", "abr": "bba", "seed": 77}`,
+		`{"duration_s": 5, "device": "efficient", "net": "umts", "cstates": true, "seed": 78}`,
+	} {
+		resp := postJSON(t, recycledTS.URL+"/v1/run", warm)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm run status %d: %s", resp.StatusCode, readAll(t, resp))
+		}
+		readAll(t, resp)
+	}
+	recycledRuns := runSweepOutcomes(t, recycledTS.URL, sweepReq)
+
+	if len(freshRuns) != len(recycledRuns) {
+		t.Fatalf("outcome counts differ: fresh %d, recycled %d", len(freshRuns), len(recycledRuns))
+	}
+	for i := range freshRuns {
+		if !bytes.Equal(freshRuns[i], recycledRuns[i]) {
+			t.Errorf("sweep point %d: recycled-session cache entry differs from fresh-session entry\nfresh:    %s\nrecycled: %s",
+				i, freshRuns[i], recycledRuns[i])
+		}
+	}
+	// Re-sweeping on the recycled server must now serve every point from
+	// the cache, bytes unchanged — recycled compute populated real entries.
+	again := runSweepOutcomes(t, recycledTS.URL, sweepReq)
+	for i := range again {
+		if !bytes.Equal(recycledRuns[i], again[i]) {
+			t.Errorf("sweep point %d: cache hit differs from the recycled miss that stored it", i)
+		}
+	}
+}
+
 // For a sample of experiment IDs, the table served by the daemon must be
 // DeepEqual to the one the direct campaign.RunAll-backed builder
 // produces — no drift between service and CLI.

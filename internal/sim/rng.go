@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 )
@@ -25,15 +24,34 @@ func NewRNG(seed int64) *RNG {
 // component name. The derivation is a stable FNV-1a hash, so the same
 // (seed, name) pair always yields the same stream.
 func Stream(seed int64, name string) *RNG {
-	h := fnv.New64a()
-	var buf [8]byte
-	for i := 0; i < 8; i++ {
-		buf[i] = byte(uint64(seed) >> (8 * i))
-	}
-	_, _ = h.Write(buf[:])
-	_, _ = h.Write([]byte(name))
-	return NewRNG(int64(h.Sum64()))
+	return NewRNG(ChildSeed(seed, name))
 }
+
+// ChildSeed returns the derived seed Stream uses for (seed, name): FNV-1a
+// over the seed's eight little-endian bytes followed by the name. It is
+// exposed (and allocation-free) so arena-reuse paths can Reseed a recycled
+// stream to the exact state Stream would construct.
+func ChildSeed(seed int64, name string) int64 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(uint64(seed) >> (8 * i)))
+		h *= prime64
+	}
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int64(h)
+}
+
+// Reseed rewinds the stream to the state NewRNG(seed) would start in,
+// reusing the underlying source. Combined with ChildSeed it recycles a
+// component stream across simulation runs without reconstructing it.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
 
 // Float64 returns a uniform draw in [0, 1).
 func (g *RNG) Float64() float64 { return g.r.Float64() }

@@ -197,6 +197,37 @@ func (e *Engine) release(idx int32) {
 // Stop makes the current Run return after the in-flight callback.
 func (e *Engine) Stop() { e.stopped = true }
 
+// Reset rewinds the engine to its initial state while keeping the event
+// slab, so a recycled engine schedules into already-allocated slots: the
+// clock returns to zero, every pending event is dropped, and all slots
+// rejoin the free list. Each slot's generation is bumped, so handles held
+// from before the reset can never cancel or match a post-reset event —
+// stale cancels stay harmless no-ops, exactly as for fired events.
+func (e *Engine) Reset() {
+	for i := range e.slots {
+		s := &e.slots[i]
+		s.at = 0
+		s.seq = 0
+		s.fn = nil
+		s.gen++
+		s.pos = -1
+	}
+	if cap(e.free) < len(e.slots) {
+		e.free = make([]int32, 0, len(e.slots))
+	}
+	e.free = e.free[:0]
+	// Descending indices so the next At pops slot 0 first and a recycled
+	// engine fills its slab in the same order a fresh one grows it.
+	for i := len(e.slots) - 1; i >= 0; i-- {
+		e.free = append(e.free, int32(i))
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.executed = 0
+	e.stopped = false
+}
+
 // Run drains the event heap until empty or Stop is called. It returns the
 // final virtual time.
 func (e *Engine) Run() Time { return e.RunUntil(Forever) }

@@ -90,5 +90,14 @@ func (t *Timeout) Stop() {
 	t.pending = Event{}
 }
 
+// Rebind reconfigures the delay and forgets any pending expiry without
+// touching the engine. It exists for arena reuse after Engine.Reset, when
+// the handle is already stale: the timeout returns to its disarmed
+// just-constructed state with the new delay.
+func (t *Timeout) Rebind(d Time) {
+	t.d = d
+	t.pending = Event{}
+}
+
 // Armed reports whether an expiry is pending.
 func (t *Timeout) Armed() bool { return t.pending.Valid() }

@@ -176,6 +176,19 @@ func NewEWMA(alpha float64) *EWMA {
 	return &EWMA{alpha: alpha}
 }
 
+// Reinit rewinds the average to its just-constructed state with a new
+// smoothing factor, clamped exactly as NewEWMA clamps. It exists so
+// arena-reuse paths can recycle an EWMA without reallocating it.
+func (e *EWMA) Reinit(alpha float64) {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	*e = EWMA{alpha: alpha}
+}
+
 // Add folds a sample into the average. The first sample initializes it.
 func (e *EWMA) Add(x float64) {
 	if !e.init {
@@ -203,6 +216,10 @@ type TimeWeighted struct {
 	elapsed  float64
 	min, max float64
 }
+
+// Reset rewinds the accumulator to the zero value, forgetting the signal
+// entirely; the next Set re-initializes it.
+func (w *TimeWeighted) Reset() { *w = TimeWeighted{} }
 
 // Set records that the signal takes value v from time t onward. Times must
 // be nondecreasing.

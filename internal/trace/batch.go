@@ -1,0 +1,197 @@
+package trace
+
+// Batcher buffers typed events in per-kind slices and replays them to the
+// wrapped Tracer on Flush, in the exact order they were emitted. Emission
+// inside the event loop then costs a typed append into a reused backing
+// array instead of a call through the full downstream chain (tee → checker
+// → encoder), and the downstream work happens in one cache-friendly sweep.
+//
+// Order fidelity: a one-byte-per-event kind tape records the interleaving,
+// and Flush replays via per-kind cursors, so the wrapped tracer observes
+// the identical event sequence — byte-identical sink output. The buffers
+// retain their capacity across Flush calls, making a Batcher suitable for
+// arena-reused sessions.
+//
+// The Batcher auto-flushes when the tape reaches batchCap, bounding memory
+// for long traced runs. It is not safe for concurrent use; the simulation
+// engine is single-threaded.
+type Batcher struct {
+	out Tracer
+
+	kinds []uint8
+
+	decisions []DecisionEvent
+	frames    []FrameEvent
+	opps      []OPPEvent
+	busys     []CPUBusyEvent
+	rrcs      []RRCEvent
+	abrs      []ABREvent
+	buffers   []BufferEvent
+	playbacks []PlaybackEvent
+	powers    []PowerEvent
+}
+
+// batchCap is the auto-flush threshold on the event tape.
+const batchCap = 4096
+
+// Event kind tags for the order tape.
+const (
+	kindDecision uint8 = iota
+	kindFrame
+	kindOPP
+	kindCPUBusy
+	kindRRC
+	kindABR
+	kindBuffer
+	kindPlayback
+	kindPower
+)
+
+// NewBatcher returns a Batcher forwarding to out on Flush.
+func NewBatcher(out Tracer) *Batcher {
+	return &Batcher{out: out, kinds: make([]uint8, 0, batchCap)}
+}
+
+// SetOutput repoints the batcher at a new downstream tracer and drops any
+// buffered events (callers flush before rewiring). Buffer capacity is kept;
+// this is the arena-reuse hook.
+func (b *Batcher) SetOutput(out Tracer) {
+	b.reset()
+	b.out = out
+}
+
+// Flush replays all buffered events to the wrapped tracer in emission order
+// and empties the buffers, retaining their capacity.
+func (b *Batcher) Flush() {
+	var di, fi, oi, ci, ri, ai, bi, pi, wi int
+	for _, k := range b.kinds {
+		switch k {
+		case kindDecision:
+			b.out.Decision(b.decisions[di])
+			di++
+		case kindFrame:
+			b.out.Frame(b.frames[fi])
+			fi++
+		case kindOPP:
+			b.out.OPP(b.opps[oi])
+			oi++
+		case kindCPUBusy:
+			b.out.CPUBusy(b.busys[ci])
+			ci++
+		case kindRRC:
+			b.out.RRC(b.rrcs[ri])
+			ri++
+		case kindABR:
+			b.out.ABR(b.abrs[ai])
+			ai++
+		case kindBuffer:
+			b.out.Buffer(b.buffers[bi])
+			bi++
+		case kindPlayback:
+			b.out.Playback(b.playbacks[pi])
+			pi++
+		case kindPower:
+			b.out.Power(b.powers[wi])
+			wi++
+		}
+	}
+	b.reset()
+}
+
+func (b *Batcher) reset() {
+	b.kinds = b.kinds[:0]
+	b.decisions = b.decisions[:0]
+	b.frames = b.frames[:0]
+	b.opps = b.opps[:0]
+	b.busys = b.busys[:0]
+	b.rrcs = b.rrcs[:0]
+	b.abrs = b.abrs[:0]
+	b.buffers = b.buffers[:0]
+	b.playbacks = b.playbacks[:0]
+	b.powers = b.powers[:0]
+}
+
+func (b *Batcher) full() bool { return len(b.kinds) >= batchCap }
+
+// Decision implements Tracer.
+func (b *Batcher) Decision(e DecisionEvent) {
+	b.decisions = append(b.decisions, e)
+	b.kinds = append(b.kinds, kindDecision)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+// Frame implements Tracer.
+func (b *Batcher) Frame(e FrameEvent) {
+	b.frames = append(b.frames, e)
+	b.kinds = append(b.kinds, kindFrame)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+// OPP implements Tracer.
+func (b *Batcher) OPP(e OPPEvent) {
+	b.opps = append(b.opps, e)
+	b.kinds = append(b.kinds, kindOPP)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+// CPUBusy implements Tracer.
+func (b *Batcher) CPUBusy(e CPUBusyEvent) {
+	b.busys = append(b.busys, e)
+	b.kinds = append(b.kinds, kindCPUBusy)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+// RRC implements Tracer.
+func (b *Batcher) RRC(e RRCEvent) {
+	b.rrcs = append(b.rrcs, e)
+	b.kinds = append(b.kinds, kindRRC)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+// ABR implements Tracer.
+func (b *Batcher) ABR(e ABREvent) {
+	b.abrs = append(b.abrs, e)
+	b.kinds = append(b.kinds, kindABR)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+// Buffer implements Tracer.
+func (b *Batcher) Buffer(e BufferEvent) {
+	b.buffers = append(b.buffers, e)
+	b.kinds = append(b.kinds, kindBuffer)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+// Playback implements Tracer.
+func (b *Batcher) Playback(e PlaybackEvent) {
+	b.playbacks = append(b.playbacks, e)
+	b.kinds = append(b.kinds, kindPlayback)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+// Power implements Tracer.
+func (b *Batcher) Power(e PowerEvent) {
+	b.powers = append(b.powers, e)
+	b.kinds = append(b.kinds, kindPower)
+	if b.full() {
+		b.Flush()
+	}
+}
+
+var _ Tracer = (*Batcher)(nil)

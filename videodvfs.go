@@ -221,8 +221,30 @@ func DefaultPolicy() PolicyConfig { return core.DefaultConfig() }
 // energy-aware governor, 720p sports over a constant 8 Mbps link, 60 s.
 func DefaultSession() RunConfig { return experiments.DefaultRunConfig() }
 
-// Run executes one streaming simulation.
+// Run executes one streaming simulation. Internally it draws a recycled
+// simulation arena from a pool (see Session), so back-to-back runs skip
+// reconstruction; results are bit-identical to a fresh simulator's.
 func Run(cfg RunConfig) (RunResult, error) { return experiments.Run(cfg) }
+
+// Arena is a reusable simulation arena: one full simulator instance
+// whose parts are rewound in place between runs instead of being
+// reconstructed. A caller that holds an Arena and a RunResult across
+// calls — a sweep loop, a daemon worker — runs allocation-free after the
+// first two uses, while producing results and traces byte-identical to a
+// fresh simulator's. An Arena is single-goroutine. (Internally this is
+// experiments.Session; the facade names it Arena because NewSession here
+// is the RunConfig builder.)
+type Arena = experiments.Session
+
+// NewArena returns an empty arena; the simulator is built on the first
+// RunInto and recycled by every later one.
+func NewArena() *Arena { return experiments.NewSession() }
+
+// SetSessionReuse toggles the arena pool behind Run and returns the
+// previous setting. On by default; switching it off makes every Run
+// construct a fresh simulator (the reference mode the differential test
+// layer compares recycled runs against).
+func SetSessionReuse(on bool) (prev bool) { return experiments.SetSessionReuse(on) }
 
 // ErrHorizonExceeded reports a session still incomplete when the
 // simulation horizon cut the run off; distinguish it with errors.Is.
