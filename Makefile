@@ -59,7 +59,7 @@ bench:
 # The pinned hot-path benchmarks the gate and the baseline agree on.
 # 2 s samples keep the best-of-run minimum (what benchgate compares)
 # inside ~3% run-to-run on a shared box; 1 s samples do not.
-GATE_BENCH = BenchmarkRunNoTrace$$|BenchmarkRunReset$$
+GATE_BENCH = BenchmarkRunNoTrace$$|BenchmarkRunReset$$|BenchmarkCohortStep$$
 GATE_FLAGS = -benchmem -benchtime 2s -count 5
 
 # Re-pin the hot-path baseline (bench/baseline.txt). Run on the seed (or

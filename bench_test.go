@@ -16,7 +16,9 @@ import (
 	"testing"
 
 	"videodvfs/internal/campaign"
+	"videodvfs/internal/cohort"
 	"videodvfs/internal/experiments"
+	"videodvfs/internal/sim"
 	"videodvfs/internal/trace"
 )
 
@@ -204,6 +206,29 @@ func BenchmarkRunJSONL(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCohortStep times a whole cohort iteration: 256 viewers of a
+// 5 s session stepped inside shared virtual-time engines with online
+// aggregation. bench-gate holds the per-iteration time and allocation
+// budget; the viewers/sec custom metric is informational (benchgate
+// skips units it doesn't budget).
+func BenchmarkCohortStep(b *testing.B) {
+	cfg := cohort.DefaultConfig()
+	cfg.Base.Duration = 5 * sim.Second
+	cfg.Viewers = 256
+	cfg.Rollup = 5 * sim.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := cohort.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != cfg.Viewers {
+			b.Fatalf("only %d/%d viewers completed (%s)", res.Completed, cfg.Viewers, res.FirstError)
+		}
+	}
+	b.ReportMetric(float64(cfg.Viewers)*float64(b.N)/b.Elapsed().Seconds(), "viewers/sec")
 }
 
 // benchRegistry rebuilds every experiment through the campaign pool at

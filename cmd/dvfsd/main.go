@@ -15,6 +15,8 @@
 //
 //	POST /v1/run               one simulation (?trace=jsonl streams events)
 //	POST /v1/sweep             batch sweep over config axes
+//	POST /v1/cohort            whole viewer population in shared engines;
+//	                           NDJSON rollup frames + summary (?stream=1 live)
 //	POST /v1/experiments/{id}  regenerate a named table/figure
 //	GET  /v1/experiments       list experiment IDs
 //	GET  /v1/catalog           devices/governors/titles/rungs/abrs/nets
@@ -58,6 +60,7 @@ func run(args []string) error {
 		maxHorizon = fs.Float64("max-horizon-s", 3600, "per-run virtual-time cap in seconds (the request timeout)")
 		maxDur     = fs.Float64("max-duration-s", 1200, "largest accepted content duration in seconds")
 		maxSweep   = fs.Int("max-sweep-runs", 1024, "largest accepted sweep expansion")
+		maxCohort  = fs.Int("max-cohort-viewers", 200_000, "largest accepted cohort population")
 		drainS     = fs.Float64("drain-timeout-s", 60, "seconds to wait for in-flight runs on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,12 +68,13 @@ func run(args []string) error {
 	}
 
 	srv := server.New(server.Config{
-		Workers:      *workers,
-		Queue:        *queue,
-		CacheBytes:   int64(*cacheMB) << 20,
-		MaxHorizon:   sim.Time(*maxHorizon) * sim.Second,
-		MaxDuration:  sim.Time(*maxDur) * sim.Second,
-		MaxSweepRuns: *maxSweep,
+		Workers:          *workers,
+		Queue:            *queue,
+		CacheBytes:       int64(*cacheMB) << 20,
+		MaxHorizon:       sim.Time(*maxHorizon) * sim.Second,
+		MaxDuration:      sim.Time(*maxDur) * sim.Second,
+		MaxSweepRuns:     *maxSweep,
+		MaxCohortViewers: *maxCohort,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

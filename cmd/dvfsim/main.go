@@ -59,6 +59,15 @@ func run(args []string) error {
 		timelinePath = fs.String("timeline", "", "write a 100 ms time-series CSV (t_s, freq_ghz, cpu_w, buffer_s) for plotting")
 		batch        = fs.Int("batch", 0, "run N sessions with seeds seed..seed+N-1 and report aggregate stats")
 		parallel     = fs.Int("parallel", runtime.NumCPU(), "worker count for -batch")
+		viewers      = fs.Int("viewers", 0, "cohort mode: step N viewers inside shared virtual-time engines (0 = single session)")
+		arrival      = fs.String("arrival", "all", "cohort arrival process: all, uniform, burst, poisson")
+		arrivalWin   = fs.Float64("arrival-window", 0, "cohort join window in virtual seconds (uniform, burst)")
+		arrivalRate  = fs.Float64("arrival-rate", 0, "cohort mean joins per second (poisson)")
+		cellMbps     = fs.Float64("cell-mbps", 0, "cohort shared sector capacity in Mbps (0 = no shared cell)")
+		cellFlowMbps = fs.Float64("cell-flow-mbps", 0, "per-viewer cap within a sector in Mbps (0 = full capacity)")
+		sectors      = fs.Int("sectors", 0, "cohort cell sector count (0 = 1)")
+		rollup       = fs.Float64("rollup", 0, "cohort rollup period in virtual seconds (0 = 10)")
+		shards       = fs.Int("shards", 0, "cohort engine shards (0 = derived from viewers; pins float merge order)")
 		cpuProf      = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf      = fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	)
@@ -78,7 +87,9 @@ func run(args []string) error {
 	if cfg.ABR, err = videodvfs.ParseABR(*abrName); err != nil {
 		return err
 	}
-	cfg.Net = videodvfs.NetKind(*net)
+	if cfg.Net, err = videodvfs.ParseNet(*net); err != nil {
+		return err
+	}
 	cfg.Duration = videodvfs.Time(*duration) * videodvfs.Second
 	cfg.Seed = *seed
 	cfg.DecodedQueueCap = *queueCap
@@ -118,6 +129,34 @@ func run(args []string) error {
 		}
 		cfg.Trace = stream
 		cfg.Duration = 0 // derive from the trace
+	}
+
+	if *viewers > 0 {
+		if *batch > 0 {
+			return fmt.Errorf("-viewers (cohort mode) and -batch are mutually exclusive")
+		}
+		if *timelinePath != "" || *traceOut != "" {
+			return fmt.Errorf("-timeline and -trace are per-run and incompatible with -viewers")
+		}
+		ccfg := videodvfs.NewCohort(
+			videodvfs.WithBase(cfg),
+			videodvfs.WithViewers(*viewers),
+			videodvfs.WithArrivalProcess(videodvfs.CohortArrival{
+				Kind:       videodvfs.ArrivalKind(*arrival),
+				Window:     videodvfs.Time(*arrivalWin) * videodvfs.Second,
+				RatePerSec: *arrivalRate,
+			}),
+			videodvfs.WithRollupPeriod(videodvfs.Time(*rollup)*videodvfs.Second),
+			videodvfs.WithShards(*shards),
+		)
+		if *cellMbps != 0 {
+			ccfg.Cell = &videodvfs.CohortCell{
+				CapacityMbps:  *cellMbps,
+				PerViewerMbps: *cellFlowMbps,
+				Sectors:       *sectors,
+			}
+		}
+		return cohortRun(os.Stdout, ccfg, *jsonOut)
 	}
 
 	if *batch > 0 {
@@ -252,6 +291,53 @@ func batchRun(w io.Writer, cfg videodvfs.RunConfig, n, workers int, jsonOut bool
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d runs failed", failed, n)
+	}
+	return nil
+}
+
+// cohortRun executes a cohort and reports the aggregate outcome: rollup
+// progress lines during the run, then the final distributions (or the
+// CohortResult as JSON with -json).
+func cohortRun(w io.Writer, cfg videodvfs.CohortConfig, jsonOut bool) error {
+	if !jsonOut {
+		cfg.OnRollup = func(r videodvfs.CohortRollup) {
+			fmt.Fprintf(w, "  t=%6.0fs joined %7d  active %7d  completed %7d  errors %d\n",
+				r.T.Seconds(), r.Joined, r.Active, r.Completed, r.Errors)
+		}
+		fmt.Fprintf(w, "cohort: %d viewers, %s %s %s over %s, governor=%s arrival=%s\n\n",
+			cfg.Viewers, cfg.Base.Device.Name, cfg.Base.Title.Name, cfg.Base.Rung.Name,
+			cfg.Base.Net, cfg.Base.Governor, cfg.Arrival.Kind)
+	}
+	res, err := videodvfs.RunCohort(cfg)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Fprintf(w, "\ncompleted %d/%d (%d horizon-cut, %d errors), sim end %.1f s, %d shards\n",
+		res.Completed, res.Viewers, res.HorizonCut, res.Errors, res.SimEnd.Seconds(), res.Shards)
+	if res.FirstError != "" {
+		fmt.Fprintf(w, "first error: %s\n", res.FirstError)
+	}
+	fmt.Fprintf(w, "\n  %-14s %10s %10s %10s %10s %10s\n", "metric", "mean", "p10", "p50", "p90", "p99")
+	for _, row := range []struct {
+		name string
+		d    videodvfs.CohortDist
+	}{
+		{"energy_j", res.EnergyJ},
+		{"rebuffer_ratio", res.RebufferRatio},
+		{"startup_s", res.StartupDelayS},
+	} {
+		fmt.Fprintf(w, "  %-14s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			row.name, row.d.Mean, row.d.P10, row.d.P50, row.d.P90, row.d.P99)
+	}
+	fmt.Fprintf(w, "\n  component totals: cpu %.0f J, radio %.0f J, display %.0f J\n",
+		res.CPUJ, res.RadioJ, res.DisplayJ)
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d viewers failed", res.Errors, res.Viewers)
 	}
 	return nil
 }

@@ -1,0 +1,65 @@
+package cohort
+
+import (
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/sim"
+)
+
+// cellState is one sector's congestion state: the count of concurrently
+// downloading viewers. It lives inside a single shard's engine, so all
+// access is single-threaded event code — the same no-locking discipline
+// as every other model component.
+type cellState struct {
+	capacityBps float64
+	perFlowBps  float64
+	active      int
+}
+
+// newCellState builds a sector from the cohort's cell spec.
+func newCellState(c *Cell) *cellState {
+	return &cellState{
+		capacityBps: c.CapacityMbps * 1e6,
+		perFlowBps:  c.PerViewerMbps * 1e6,
+	}
+}
+
+// activity is the per-viewer download busy/idle listener (wired through
+// the player's hook chain via ViewerOptions.OnNetActivity).
+func (cs *cellState) activity(now sim.Time, active bool) {
+	if active {
+		cs.active++
+	} else {
+		cs.active--
+	}
+}
+
+// cellLink decorates a viewer's base bandwidth model with the sector's
+// processor-sharing discipline: each of n concurrent flows gets
+// capacity/n, optionally capped per flow, and never more than the base
+// profile allows. Implements netsim.Bandwidth.
+type cellLink struct {
+	cs   *cellState
+	base netsim.Bandwidth
+}
+
+// Rate implements netsim.Bandwidth. The quote's hold horizon passes
+// through from the base profile: the downloader re-integrates at its
+// ≤100 ms chunk boundaries anyway, so changes in the active-flow count
+// propagate within one chunk without any rescheduling machinery.
+func (l cellLink) Rate(now sim.Time) (float64, sim.Time) {
+	bps, until := l.base.Rate(now)
+	n := l.cs.active
+	if n < 1 {
+		// A flow asking for a rate while the count reads zero is the
+		// flow itself, mid-transition to busy: it gets the whole sector.
+		n = 1
+	}
+	share := l.cs.capacityBps / float64(n)
+	if l.cs.perFlowBps > 0 && share > l.cs.perFlowBps {
+		share = l.cs.perFlowBps
+	}
+	if bps > share {
+		bps = share
+	}
+	return bps, until
+}

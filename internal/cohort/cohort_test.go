@@ -1,0 +1,308 @@
+package cohort
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/video"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden rollup stream")
+
+// shortBase is a quick per-viewer config for cohort tests: the
+// evaluation's base case cut to 10 s of content.
+func shortBase() experiments.RunConfig {
+	cfg := experiments.DefaultRunConfig()
+	cfg.Duration = 10 * sim.Second
+	return cfg
+}
+
+// An N=1 cohort must reproduce a standalone Run bit for bit: the viewer
+// is wired in Session.Reset's exact construction order and collected by
+// the same collectResult path, so DeepEqual — not tolerances — is the
+// bar. Invariants ride both sides (Strict), per the PR contract.
+func TestSingleViewerEquivalentToRun(t *testing.T) {
+	base := shortBase()
+	base.Strict = true
+
+	refCfg := base
+	// The cohort splits each viewer's background seed from the cohort
+	// seed by index; viewer 0's split is reproducible on the Run side.
+	refCfg.BGSeed = sim.ChildSeedN(refCfg.Seed, "cohort/bgload", 0)
+	ref, err := experiments.Run(refCfg)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	var got *experiments.RunResult
+	res, err := Run(Config{
+		Base:    base,
+		Viewers: 1,
+		OnViewer: func(i int, r *experiments.RunResult, verr error) {
+			if verr != nil {
+				t.Errorf("viewer %d: %v", i, verr)
+				return
+			}
+			got = r // one viewer: the scratch is never reused after this
+		},
+	})
+	if err != nil {
+		t.Fatalf("cohort run: %v", err)
+	}
+	if res.Completed != 1 || res.Errors != 0 {
+		t.Fatalf("completed=%d errors=%d (%s), want 1/0", res.Completed, res.Errors, res.FirstError)
+	}
+	if got == nil {
+		t.Fatal("OnViewer never fired")
+	}
+	if !reflect.DeepEqual(*got, ref) {
+		t.Errorf("cohort viewer result differs from Run:\ncohort: %+v\nrun:    %+v", *got, ref)
+	}
+	if res.SimEnd != ref.SimEnd {
+		t.Errorf("cohort SimEnd %v != run SimEnd %v", res.SimEnd, ref.SimEnd)
+	}
+	if want := ref.CPUJ; res.CPUJ != want {
+		t.Errorf("cohort CPUJ %v != run CPUJ %v", res.CPUJ, want)
+	}
+}
+
+// goldenConfig is the pinned determinism scenario: several shards, a
+// bursty live-event arrival, and a sectorized cell, so every
+// cohort-specific mechanism is on the hook.
+func goldenConfig(onRollup func(Rollup)) Config {
+	base := shortBase()
+	base.Duration = 8 * sim.Second
+	return Config{
+		Base:     base,
+		Viewers:  48,
+		Shards:   3,
+		Arrival:  Arrival{Kind: ArrivalBurst, Window: 5 * sim.Second},
+		Cell:     &Cell{CapacityMbps: 40, Sectors: 6},
+		Rollup:   5 * sim.Second,
+		Seed:     7,
+		OnRollup: onRollup,
+	}
+}
+
+// rollupStream runs the golden scenario and returns its NDJSON rollup
+// frames plus the final result line — the byte stream /v1/cohort serves.
+func rollupStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	res, err := Run(goldenConfig(func(r Rollup) {
+		if err := enc.Encode(r); err != nil {
+			t.Fatal(err)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// The rollup stream must be byte-identical across worker counts — the
+// determinism contract that makes cohort results citable — and match the
+// pinned golden file across commits.
+func TestGoldenRollupDeterministicAcrossWorkers(t *testing.T) {
+	serial := func() []byte {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		return rollupStream(t)
+	}()
+	parallel := rollupStream(t)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("rollup stream differs between GOMAXPROCS=1 and %d:\nserial:\n%sparallel:\n%s",
+			runtime.NumCPU(), serial, parallel)
+	}
+
+	golden := filepath.Join("testdata", "golden_rollup.ndjson")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, parallel, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(parallel, want) {
+		t.Errorf("rollup stream drifted from golden (regenerate with -update if intended):\ngot:\n%swant:\n%s",
+			parallel, want)
+	}
+}
+
+// A congested cell must actually bite: the same cohort on a starved
+// sector rebuffers more than on an uncontended one. This is the
+// "viewers actually interact" check.
+func TestCellContentionDegradesPlayback(t *testing.T) {
+	base := shortBase()
+	run := func(cell *Cell) Result {
+		res, err := Run(Config{Base: base, Viewers: 12, Cell: cell, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	free := run(nil)
+	if free.Completed != 12 {
+		t.Fatalf("uncontended cohort: %d/12 completed (%s)", free.Completed, free.FirstError)
+	}
+	// 12 viewers sharing 10 Mbps, each needing a few Mbps: heavy
+	// contention, but enough to finish within the 6x horizon.
+	tight := run(&Cell{CapacityMbps: 10})
+	if got, want := tight.RebufferRatio.Mean, free.RebufferRatio.Mean; got <= want {
+		t.Errorf("congested rebuffer mean %v not worse than uncontended %v", got, want)
+	}
+	if tight.SimEnd <= free.SimEnd {
+		t.Errorf("congested cohort finished at %v, not later than uncontended %v", tight.SimEnd, free.SimEnd)
+	}
+}
+
+// Join times are a pure function of (config, index): identical across
+// calls, ordered for poisson, inside the window for burst/uniform.
+func TestArrivalsDeterministicAndBounded(t *testing.T) {
+	cfg := Config{Base: shortBase(), Viewers: 200, Seed: 11}
+	for _, kind := range ArrivalKinds() {
+		cfg.Arrival = Arrival{Kind: kind, Window: 30 * sim.Second, RatePerSec: 50}
+		a, b := computeJoins(cfg), computeJoins(cfg)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: joins differ across calls", kind)
+		}
+		for i, j := range a {
+			if j < 0 {
+				t.Fatalf("%s: join %d negative: %v", kind, i, j)
+			}
+			if (kind == ArrivalUniform || kind == ArrivalBurst) && j > 30*sim.Second {
+				t.Fatalf("%s: join %d outside window: %v", kind, i, j)
+			}
+		}
+		if kind == ArrivalPoisson {
+			for i := 1; i < len(a); i++ {
+				if a[i] < a[i-1] {
+					t.Fatalf("poisson joins not monotone at %d", i)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	good := Config{Base: shortBase(), Viewers: 10}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero viewers", func(c *Config) { c.Viewers = 0 }},
+		{"bad arrival", func(c *Config) { c.Arrival.Kind = "flashmob" }},
+		{"uniform no window", func(c *Config) { c.Arrival = Arrival{Kind: ArrivalUniform} }},
+		{"poisson no rate", func(c *Config) { c.Arrival = Arrival{Kind: ArrivalPoisson} }},
+		{"bad cell capacity", func(c *Config) { c.Cell = &Cell{} }},
+		{"negative shards", func(c *Config) { c.Shards = -1 }},
+		{"negative rollup", func(c *Config) { c.Rollup = -sim.Second }},
+		{"bad base governor", func(c *Config) { c.Base.Governor = "warp" }},
+		{"bad base net", func(c *Config) { c.Base.Net = "carrier-pigeon" }},
+		{"per-viewer sampling", func(c *Config) {
+			c.Base.OnSample = func(sim.Time, float64, float64, float64) {}
+		}},
+	}
+	for _, tc := range cases {
+		cfg := good
+		tc.mut(&cfg)
+		if err := cfg.Validate(); !errors.Is(err, experiments.ErrInvalidConfig) {
+			t.Errorf("%s: err = %v, want ErrInvalidConfig", tc.name, err)
+		}
+		if _, err := Run(cfg); !errors.Is(err, experiments.ErrInvalidConfig) {
+			t.Errorf("%s: Run err = %v, want ErrInvalidConfig", tc.name, err)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestKeyIdentity(t *testing.T) {
+	base := shortBase()
+	a := Config{Base: base, Viewers: 100}
+	k1, ok := Key(a)
+	if !ok || k1 == "" {
+		t.Fatal("callback-free cohort must be cacheable")
+	}
+	// A zero shard/seed/rollup and their resolved spellings are the
+	// same effective cohort — one identity.
+	b := a
+	b.Shards = a.shardCount()
+	b.Seed = base.Seed
+	b.Rollup = 10 * sim.Second
+	if k2, _ := Key(b); k2 != k1 {
+		t.Error("resolved and derived spellings of one cohort got different keys")
+	}
+	c := a
+	c.Viewers = 101
+	if k3, _ := Key(c); k3 == k1 {
+		t.Error("different cohorts share a key")
+	}
+	d := a
+	d.OnRollup = func(Rollup) {}
+	if _, ok := Key(d); ok {
+		t.Error("OnRollup cohort reported cacheable")
+	}
+	e := a
+	e.Base.Strict = true
+	if _, ok := Key(e); ok {
+		t.Error("strict cohort reported cacheable")
+	}
+}
+
+// The full-scale acceptance run: a 100k-viewer live-event burst over a
+// sectorized cell on one node. Gated behind COHORT_ACCEPT=1 — it is a
+// capacity test, not a unit test.
+func TestAcceptance100k(t *testing.T) {
+	if os.Getenv("COHORT_ACCEPT") == "" {
+		t.Skip("set COHORT_ACCEPT=1 to run the 100k-viewer acceptance cohort")
+	}
+	// A feasible live event: 100k mobile viewers at the 360p rung
+	// (0.8 Mbps, ABRFixed) bursting onto 1024 sectors of 100 Mbps —
+	// ~98 viewers/sector, ~78% steady-state sector utilization, so
+	// playback is contended but not starved. (64 sectors at 150 Mbps
+	// would be 40x oversubscribed: every viewer rebuffers to its
+	// horizon and the run never ends.)
+	base := experiments.DefaultRunConfig()
+	base.Rung = video.R360p
+	base.Duration = 30 * sim.Second
+	res, err := Run(Config{
+		Base:    base,
+		Viewers: 100_000,
+		Arrival: Arrival{Kind: ArrivalBurst, Window: 30 * sim.Second},
+		Cell:    &Cell{CapacityMbps: 100, Sectors: 1024},
+		Rollup:  30 * sim.Second,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed+res.Errors != 100_000 {
+		t.Fatalf("accounting: %d completed + %d errors != 100000", res.Completed, res.Errors)
+	}
+	if res.Completed < 99_000 {
+		t.Fatalf("only %d/100000 completed (first error: %s)", res.Completed, res.FirstError)
+	}
+	t.Logf("100k cohort: completed=%d cut=%d errors=%d energy p50=%.1f J p99=%.1f J rebuffer p90=%.4f end=%v",
+		res.Completed, res.HorizonCut, res.Errors,
+		res.EnergyJ.P50, res.EnergyJ.P99, res.RebufferRatio.P90, res.SimEnd)
+}

@@ -1,0 +1,77 @@
+package cohort
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strconv"
+
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/sim"
+)
+
+// Canonical serializes every result-determining field of a cohort config
+// into a deterministic byte string, in the same line-oriented style as
+// experiments.CanonicalConfig (DESIGN.md §9): the cohort-level lines
+// first, then the embedded base config's canonical bytes. The second
+// return is false when the cohort is uncacheable: callback-carrying
+// cohorts (OnViewer, OnRollup) observe state outside the config, and an
+// uncacheable base (Trace/OnSample/Tracer/Strict) stays uncacheable at
+// the cohort level for the same reasons it does per run.
+//
+// Resolved values are encoded where a zero means "derive" — shard count,
+// seed, rollup period — so two spellings of the same effective cohort
+// share one identity.
+func Canonical(c Config) ([]byte, bool) {
+	if c.OnViewer != nil || c.OnRollup != nil {
+		return nil, false
+	}
+	base, ok := experiments.CanonicalConfig(c.Base)
+	if !ok {
+		return nil, false
+	}
+	b := make([]byte, 0, len(base)+256)
+	field := func(key string) { b = append(append(b, "cohort."...), key...) }
+	end := func() { b = append(b, '\n') }
+	str := func(key, v string) { field(key); b = append(b, '='); b = append(b, v...); end() }
+	num := func(key string, v int64) { field(key); b = append(b, '='); b = strconv.AppendInt(b, v, 10); end() }
+	flt := func(key string, v float64) {
+		field(key)
+		b = append(b, '=')
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+		end()
+	}
+	dur := func(key string, v sim.Time) { flt(key, v.Seconds()) }
+
+	num("viewers", int64(c.Viewers))
+	kind := c.Arrival.Kind
+	if kind == "" {
+		kind = ArrivalAll
+	}
+	str("arrival.kind", string(kind))
+	dur("arrival.window", c.Arrival.Window)
+	flt("arrival.rate", c.Arrival.RatePerSec)
+	if c.Cell == nil {
+		str("cell", "")
+	} else {
+		flt("cell.capacity", c.Cell.CapacityMbps)
+		flt("cell.perviewer", c.Cell.PerViewerMbps)
+		num("cell.sectors", int64(c.sectors()))
+	}
+	num("shards", int64(c.shardCount()))
+	dur("rollup", c.rollup())
+	num("seed", c.seed())
+	return append(b, base...), true
+}
+
+// Key returns the hex SHA-256 of the cohort's canonical serialization,
+// the content-addressed identity a result cache stores cohorts under —
+// the cohort-level twin of experiments.ConfigKey. The second return is
+// false for uncacheable cohorts (see Canonical).
+func Key(c Config) (string, bool) {
+	b, ok := Canonical(c)
+	if !ok {
+		return "", false
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), true
+}

@@ -1,0 +1,121 @@
+package cohort
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"videodvfs/internal/sim"
+)
+
+// Run executes one cohort: validate, materialize join times, build the
+// shards, then step every shard in lockstep rollup barriers until all
+// viewers have finished. Per-viewer failures (including horizon cuts)
+// are counted in the Result, not fatal — a million-viewer run does not
+// abort because one starved session timed out; only an invalid Config
+// returns an error.
+//
+// Shards are stepped by up to GOMAXPROCS workers, but every
+// result-determining choice — shard count, viewer assignment, seeds,
+// join times, merge order — is a pure function of cfg, so the Result
+// (and the OnRollup byte stream) is identical at any worker count.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	joins := computeJoins(cfg)
+	nShards := cfg.shardCount()
+	shards := make([]*shard, nShards)
+	for i := range shards {
+		shards[i] = newShard(&cfg, i, nShards, joins)
+	}
+
+	var maxJoin sim.Time
+	for _, j := range joins {
+		if j > maxJoin {
+			maxJoin = j
+		}
+	}
+	step := cfg.rollup()
+	// The horizon cuts guarantee every viewer is finished by
+	// maxJoin+horizon; the bound below is a pure safety net against a
+	// model bug, not a control-flow path.
+	bound := maxJoin + cfg.viewerHorizon() + step
+	workers := runtime.GOMAXPROCS(0)
+
+	for t := step; ; t += step {
+		stepAll(shards, t, workers)
+		if cfg.OnRollup != nil {
+			cfg.OnRollup(snapshotRollup(t, shards))
+		}
+		if allDone(shards) || t > bound {
+			break
+		}
+	}
+	return buildResult(cfg, nShards, shards), nil
+}
+
+// stepAll advances every unfinished shard to the barrier t, fanning the
+// shards over a fixed-size worker pool. Shards share no mutable state,
+// so the only synchronization is the barrier itself.
+func stepAll(shards []*shard, t sim.Time, workers int) {
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		for _, sh := range shards {
+			sh.stepTo(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				shards[i].stepTo(t)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func allDone(shards []*shard) bool {
+	for _, sh := range shards {
+		if !sh.done {
+			return false
+		}
+	}
+	return true
+}
+
+// buildResult merges the shards' final aggregation state, in shard-index
+// order.
+func buildResult(cfg Config, nShards int, shards []*shard) Result {
+	r := Result{Viewers: cfg.Viewers, Shards: nShards}
+	for _, sh := range shards {
+		r.Completed += sh.agg.completed
+		r.HorizonCut += sh.agg.horizonCut
+		r.Errors += sh.agg.errors
+		if r.FirstError == "" {
+			r.FirstError = sh.agg.firstErr
+		}
+		r.CPUJ += sh.agg.cpuJ
+		r.RadioJ += sh.agg.radioJ
+		r.DisplayJ += sh.agg.displayJ
+		if sh.agg.maxEnd > r.SimEnd {
+			r.SimEnd = sh.agg.maxEnd
+		}
+	}
+	energy, rebuffer, startup := mergedSketches(shards)
+	r.EnergyJ = distOf(energy)
+	r.RebufferRatio = distOf(rebuffer)
+	r.StartupDelayS = distOf(startup)
+	return r
+}

@@ -1,0 +1,169 @@
+package cohort
+
+import (
+	"errors"
+
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/sim"
+)
+
+// shard is one shared virtual-time engine multiplexing a fixed subset of
+// the cohort's viewers (plus the whole cell sectors they belong to). A
+// shard is stepped by exactly one worker at a time between rollup
+// barriers; all viewer state mutation happens inside its engine's
+// events, single-threaded as always.
+type shard struct {
+	idx     int
+	cfg     *Config
+	eng     *sim.Engine
+	horizon sim.Time
+	total   int
+	cells   map[int]*cellState // sector index -> state, sectors owned whole
+	agg     agg
+	done    bool
+}
+
+// newShard builds shard idx of shards: constructs every t=0 viewer (in
+// global index order — the deterministic analogue of Run's construct-
+// then-start ordering), schedules arrival events for later joins, then
+// starts the t=0 crowd and arms per-viewer horizon cuts.
+func newShard(cfg *Config, idx, shards int, joins []sim.Time) *shard {
+	sh := &shard{
+		idx:     idx,
+		cfg:     cfg,
+		eng:     sim.NewEngine(),
+		horizon: cfg.viewerHorizon(),
+		agg:     newAgg(),
+	}
+	if cfg.Cell != nil {
+		sh.cells = make(map[int]*cellState)
+		for s := 0; s < cfg.sectors(); s++ {
+			if s%shards == idx {
+				sh.cells[s] = newCellState(cfg.Cell)
+			}
+		}
+	}
+	var startNow []*experiments.Viewer
+	for i, join := range joins {
+		if cfg.shardOf(i, shards) != idx {
+			continue
+		}
+		sh.total++
+		if join <= 0 {
+			if v := sh.admit(i); v != nil {
+				startNow = append(startNow, v)
+			}
+			continue
+		}
+		i := i
+		sh.eng.At(join, func() {
+			if v := sh.admit(i); v != nil {
+				sh.start(v)
+			}
+		})
+	}
+	for _, v := range startNow {
+		sh.start(v)
+	}
+	return sh
+}
+
+// admit constructs viewer i into the shared engine, with its split
+// background seed and (when the cohort has a cell) its sector's
+// congestion wrapper. Construction failures are folded into the shard's
+// accounting as viewer errors; admit returns nil for them.
+func (sh *shard) admit(i int) *experiments.Viewer {
+	sh.agg.started++
+	vcfg := sh.cfg.Base
+	vcfg.BGSeed = sim.ChildSeedN(sh.cfg.seed(), "cohort/bgload", i)
+	var v *experiments.Viewer
+	opts := experiments.ViewerOptions{
+		OnDone: func() { sh.collect(i, v) },
+	}
+	if cs := sh.cells[sh.cfg.sectorOf(i)]; cs != nil {
+		opts.WrapBandwidth = func(base netsim.Bandwidth) netsim.Bandwidth {
+			return cellLink{cs: cs, base: base}
+		}
+		opts.OnNetActivity = cs.activity
+	}
+	var err error
+	v, err = experiments.NewViewer(sh.eng, vcfg, opts)
+	if err != nil {
+		sh.finishFailed(i, err)
+		return nil
+	}
+	return v
+}
+
+// start begins a constructed viewer's playback at the engine's current
+// time and arms its horizon cut. The cut event is scheduled
+// unconditionally; for the (overwhelmingly common) completing viewer it
+// fires as a no-op long after the viewer collected.
+func (sh *shard) start(v *experiments.Viewer) {
+	v.Start()
+	sh.eng.At(v.Deadline(), func() { v.Cut() })
+}
+
+// collect runs inside a viewer's completion (or cut) event: finish the
+// viewer into the shard's ONE scratch result and fold it into the online
+// aggregates. When the last viewer of the shard finishes, the engine is
+// stopped — leftover radio-tail and cut events are never run, exactly as
+// a standalone Run leaves them.
+func (sh *shard) collect(i int, v *experiments.Viewer) {
+	sh.agg.finished++
+	if now := sh.eng.Now(); now > sh.agg.maxEnd {
+		sh.agg.maxEnd = now
+	}
+	res := &sh.agg.scratch
+	if err := v.Finish(res); err != nil {
+		sh.agg.errors++
+		if errors.Is(err, experiments.ErrHorizonExceeded) {
+			sh.agg.horizonCut++
+		}
+		if sh.agg.firstErr == "" {
+			sh.agg.firstErr = err.Error()
+		}
+		if sh.cfg.OnViewer != nil {
+			sh.cfg.OnViewer(i, nil, err)
+		}
+	} else {
+		sh.agg.fold(res)
+		if sh.cfg.OnViewer != nil {
+			sh.cfg.OnViewer(i, res, nil)
+		}
+	}
+	if sh.agg.finished == sh.total {
+		sh.eng.Stop()
+	}
+}
+
+// finishFailed accounts a viewer that never got a simulator (config or
+// construction failure).
+func (sh *shard) finishFailed(i int, err error) {
+	sh.agg.finished++
+	sh.agg.errors++
+	if sh.agg.firstErr == "" {
+		sh.agg.firstErr = err.Error()
+	}
+	if sh.cfg.OnViewer != nil {
+		sh.cfg.OnViewer(i, nil, err)
+	}
+	if sh.agg.finished == sh.total {
+		sh.eng.Stop()
+	}
+}
+
+// stepTo advances the shard's engine to the barrier time t. Chunked
+// RunUntil calls replay the identical event sequence one long run would
+// (the engine fires events with at <= horizon and re-arms after a Stop),
+// so barrier stepping changes nothing but when snapshots are taken.
+func (sh *shard) stepTo(t sim.Time) {
+	if sh.done {
+		return
+	}
+	sh.eng.RunUntil(t)
+	if sh.agg.finished == sh.total {
+		sh.done = true
+	}
+}

@@ -102,6 +102,7 @@ func CanonicalConfig(cfg RunConfig) ([]byte, bool) {
 	}
 	dur("duration", cfg.Duration)
 	num("seed", cfg.Seed)
+	num("bgseed", cfg.BGSeed)
 	num("decodedqueuecap", int64(cfg.DecodedQueueCap))
 	flt("lowwatersec", cfg.LowWaterSec)
 	if cfg.Thermal == nil {

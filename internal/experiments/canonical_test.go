@@ -101,10 +101,10 @@ func TestCanonicalConfigShape(t *testing.T) {
 	b, _ := CanonicalConfig(DefaultRunConfig())
 	lines := strings.Split(strings.TrimSuffix(string(b), "\n"), "\n")
 	// 3 device header + 4 per OPP + 1 governor + 10 policy + 4 title +
-	// 3 rung + abr/net/rrc + duration/seed/queuecap/lowwater + thermal +
-	// cstates/codec/lowlatency/segmentdur/background/horizon/fps.
+	// 3 rung + abr/net/rrc + duration/seed/bgseed/queuecap/lowwater +
+	// thermal + cstates/codec/lowlatency/segmentdur/background/horizon/fps.
 	opps := len(DefaultRunConfig().Device.OPPs)
-	want := 3 + 4*opps + 1 + 10 + 4 + 3 + 3 + 4 + 1 + 7
+	want := 3 + 4*opps + 1 + 10 + 4 + 3 + 3 + 5 + 1 + 7
 	if len(lines) != want {
 		t.Fatalf("canonical form has %d lines, want %d:\n%s", len(lines), want, b)
 	}

@@ -42,6 +42,10 @@ var ErrUnknownGovernor = errors.New("unknown governor")
 // with errors.Is.
 var ErrUnknownABR = errors.New("unknown ABR algorithm")
 
+// ErrUnknownNet reports a network name outside NetKinds(); distinguish it
+// with errors.Is.
+var ErrUnknownNet = errors.New("unknown network kind")
+
 // GovernorIDs returns every governor Run accepts, in report order: the
 // stock baselines followed by energyaware and oracle.
 func GovernorIDs() []GovernorID {
@@ -108,6 +112,30 @@ func ParseABRID(name string) (ABRID, error) {
 		}
 	}
 	return "", fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownABR, name, ABRIDs())
+}
+
+// String returns the network name, mirroring GovernorID and ABRID's
+// string forms for flag messages and error text.
+func (n NetKind) String() string { return string(n) }
+
+// ParseNetKind validates a network name from an untrusted source (flags,
+// request bodies). The empty string parses as NetWiFi — the same default
+// Run applies to an unset RunConfig.Net — and unknown names return an
+// error matching ErrUnknownNet.
+func ParseNetKind(name string) (NetKind, error) {
+	switch NetKind(name) {
+	case "":
+		return NetWiFi, nil
+	case NetWiFi, NetConst8, NetLTE, NetUMTS:
+		// Fast path mirroring ParseGovernorID: keep Validate allocation-free.
+		return NetKind(name), nil
+	}
+	for _, id := range NetKinds() {
+		if NetKind(name) == id {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownNet, name, NetKinds())
 }
 
 var _ = abr.Names // the ABR registry itself lives in internal/abr

@@ -68,6 +68,13 @@ type RunConfig struct {
 	Duration sim.Time
 	// Seed drives all stochastic inputs.
 	Seed int64
+	// BGSeed, when non-zero, reseeds only the background-load generator
+	// while every content-derived input (video stream, bandwidth trace)
+	// still follows Seed. Cohort runs use it to give each viewer of the
+	// same live event an independent device-load history without
+	// regenerating the shared stream per viewer; 0 means "derive from
+	// Seed" — the single-run behavior this field generalizes.
+	BGSeed int64
 	// DecodedQueueCap overrides the player's decode-ahead depth (0 =
 	// default 8).
 	DecodedQueueCap int
@@ -172,8 +179,8 @@ func (r RunResult) TotalJ() float64 { return r.CPUJ + r.RadioJ + r.DisplayJ }
 
 // ErrInvalidConfig reports a RunConfig rejected by Validate before any
 // simulation state was built. Callers distinguish it with errors.Is;
-// parse-level sentinels (ErrUnknownGovernor, ErrUnknownABR) also match
-// through it.
+// parse-level sentinels (ErrUnknownGovernor, ErrUnknownABR, ErrUnknownNet)
+// also match through it.
 var ErrInvalidConfig = errors.New("invalid run config")
 
 // Validate checks the knobs Run cannot default: the governor and ABR
@@ -187,11 +194,8 @@ func (cfg RunConfig) Validate() error {
 	if _, err := ParseABRID(string(cfg.ABR)); err != nil {
 		return fmt.Errorf("experiments: %w: %w", ErrInvalidConfig, err)
 	}
-	switch cfg.Net {
-	case NetWiFi, NetConst8, NetLTE, NetUMTS, "":
-	default:
-		return fmt.Errorf("experiments: %w: unknown network kind %q (known: %v)",
-			ErrInvalidConfig, cfg.Net, NetKinds())
+	if _, err := ParseNetKind(string(cfg.Net)); err != nil {
+		return fmt.Errorf("experiments: %w: %w", ErrInvalidConfig, err)
 	}
 	if cfg.Duration <= 0 && cfg.Trace == nil {
 		return fmt.Errorf("experiments: %w: duration %v not positive", ErrInvalidConfig, cfg.Duration)

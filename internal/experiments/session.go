@@ -273,8 +273,12 @@ func (s *Session) Reset(cfg RunConfig) (err error) {
 	}
 
 	if cfg.Background {
+		bgSeed := cfg.Seed
+		if cfg.BGSeed != 0 {
+			bgSeed = cfg.BGSeed
+		}
 		if s.bg == nil {
-			s.bgRNG = sim.Stream(cfg.Seed, "bgload")
+			s.bgRNG = sim.Stream(bgSeed, "bgload")
 			s.bg, err = cpu.StartLoadGen(s.eng, s.core, s.bgRNG, cpu.DefaultLoadGenConfig())
 			if err != nil {
 				return err
@@ -282,7 +286,7 @@ func (s *Session) Reset(cfg RunConfig) (err error) {
 		} else {
 			// Reseeding reproduces the exact stream a fresh
 			// sim.Stream(seed, "bgload") would draw.
-			s.bgRNG.Reseed(sim.ChildSeed(cfg.Seed, "bgload"))
+			s.bgRNG.Reseed(sim.ChildSeed(bgSeed, "bgload"))
 			if err := s.bg.Restart(cpu.DefaultLoadGenConfig()); err != nil {
 				return err
 			}
@@ -365,31 +369,20 @@ func (s *Session) Finish(res *RunResult) error {
 	if err := s.ps.Err(); err != nil {
 		return fmt.Errorf("experiments: session: %w", err)
 	}
-	if chk := s.run.chk; chk != nil {
-		m := s.ps.Metrics()
-		counts := s.ps.Decoder().Counts()
-		rrcRes := make(map[string]sim.Time, 4)
-		for state, d := range s.radio.Residency() {
-			rrcRes[state.String()] = d
-		}
-		if v := chk.Finalize(invariant.Final{
-			End:           s.eng.Now(),
-			CPUJ:          s.meter.ComponentJ(energy.ComponentCPU),
-			RadioJ:        s.meter.ComponentJ(energy.ComponentRadio),
-			DisplayJ:      s.meter.ComponentJ(energy.ComponentDisplay),
-			FreqResidency: s.core.FreqResidency(),
-			RRCResidency:  rrcRes,
-			IdleResidency: s.core.IdleStateResidency(),
-			Displayed:     m.DisplayedFrames,
-			Dropped:       m.DroppedFrames,
-			Total:         m.TotalFrames,
-			Decoded:       counts.Decoded,
-			Discarded:     counts.Discarded,
-			ReadyLeft:     s.ps.Decoder().ReadyLen(),
-			Completed:     m.Completed,
-		}); v != nil {
-			return fmt.Errorf("experiments: strict: %w", v)
-		}
+	p := resultParts{
+		cfg:     cfg,
+		gov:     s.run.gov,
+		eaGov:   s.run.eaGov,
+		eng:     s.eng,
+		meter:   s.meter,
+		core:    s.core,
+		radio:   s.radio,
+		dl:      s.dl,
+		ps:      s.ps,
+		thermal: s.run.thermal,
+	}
+	if err := finalizeChecker(s.run.chk, p); err != nil {
+		return err
 	}
 	if m := s.ps.Metrics(); !m.Completed && end >= s.run.horizon {
 		return fmt.Errorf("experiments: %w: session at %d/%d frames when the %v horizon hit",
@@ -402,44 +395,103 @@ func (s *Session) Finish(res *RunResult) error {
 		return fmt.Errorf("experiments: background load: %w", s.bg.Err())
 	}
 
-	res.Governor = s.run.gov.Name()
-	res.CPUJ = s.meter.ComponentJ(energy.ComponentCPU)
-	res.RadioJ = s.meter.ComponentJ(energy.ComponentRadio)
-	res.DisplayJ = s.meter.ComponentJ(energy.ComponentDisplay)
-	res.QoE = s.ps.Metrics()
-	if res.FreqResidency == nil {
-		res.FreqResidency = make(map[int]sim.Time, len(cfg.Device.OPPs))
+	collectResult(p, res)
+	return nil
+}
+
+// resultParts is the component set a finished run's outcome is read from.
+// Session.Finish and cohort viewers both fill one, so single-run and
+// cohort results are assembled by the identical code path — the N=1
+// cohort ≡ Run equivalence holds by construction, not by parallel
+// maintenance of two collectors.
+type resultParts struct {
+	cfg     RunConfig // defaults applied
+	gov     governor.Governor
+	eaGov   *core.Governor
+	eng     *sim.Engine
+	meter   *energy.Meter
+	core    *cpu.Core
+	radio   *netsim.Radio
+	dl      *netsim.Downloader
+	ps      *player.Session
+	thermal *cpu.Thermal
+}
+
+// finalizeChecker closes out an armed invariant checker against the
+// run's final ground truth; a nil checker is a no-op. Any violation is
+// returned wrapped exactly as strict Run reports it.
+func finalizeChecker(chk *invariant.Checker, p resultParts) error {
+	if chk == nil {
+		return nil
 	}
-	s.core.FreqResidencyInto(res.FreqResidency)
+	m := p.ps.Metrics()
+	counts := p.ps.Decoder().Counts()
+	rrcRes := make(map[string]sim.Time, 4)
+	for state, d := range p.radio.Residency() {
+		rrcRes[state.String()] = d
+	}
+	if v := chk.Finalize(invariant.Final{
+		End:           p.eng.Now(),
+		CPUJ:          p.meter.ComponentJ(energy.ComponentCPU),
+		RadioJ:        p.meter.ComponentJ(energy.ComponentRadio),
+		DisplayJ:      p.meter.ComponentJ(energy.ComponentDisplay),
+		FreqResidency: p.core.FreqResidency(),
+		RRCResidency:  rrcRes,
+		IdleResidency: p.core.IdleStateResidency(),
+		Displayed:     m.DisplayedFrames,
+		Dropped:       m.DroppedFrames,
+		Total:         m.TotalFrames,
+		Decoded:       counts.Decoded,
+		Discarded:     counts.Discarded,
+		ReadyLeft:     p.ps.Decoder().ReadyLen(),
+		Completed:     m.Completed,
+	}); v != nil {
+		return fmt.Errorf("experiments: strict: %w", v)
+	}
+	return nil
+}
+
+// collectResult gathers a finished simulation's outcome into res, reusing
+// res's maps and slices when present.
+func collectResult(p resultParts, res *RunResult) {
+	res.Governor = p.gov.Name()
+	res.CPUJ = p.meter.ComponentJ(energy.ComponentCPU)
+	res.RadioJ = p.meter.ComponentJ(energy.ComponentRadio)
+	res.DisplayJ = p.meter.ComponentJ(energy.ComponentDisplay)
+	res.QoE = p.ps.Metrics()
+	if res.FreqResidency == nil {
+		res.FreqResidency = make(map[int]sim.Time, len(p.cfg.Device.OPPs))
+	}
+	p.core.FreqResidencyInto(res.FreqResidency)
 	if res.RadioResidency == nil {
 		res.RadioResidency = make(map[netsim.RRCState]sim.Time, 4)
 	}
-	s.radio.ResidencyInto(res.RadioResidency)
-	res.RadioPromotions = s.radio.Promotions()
-	res.Fetches = s.dl.Fetches()
-	res.SimEnd = s.eng.Now()
-	res.MeanFreqGHz = meanFreqGHz(cfg.Device, res.FreqResidency)
-	if cfg.CStates {
+	p.radio.ResidencyInto(res.RadioResidency)
+	res.RadioPromotions = p.radio.Promotions()
+	res.Fetches = p.dl.Fetches()
+	res.SimEnd = p.eng.Now()
+	res.MeanFreqGHz = meanFreqGHz(p.cfg.Device, res.FreqResidency)
+	if p.cfg.CStates {
 		if res.IdleResidency == nil {
 			res.IdleResidency = make(map[string]sim.Time, 4)
 		}
-		s.core.IdleStateResidencyInto(res.IdleResidency)
+		p.core.IdleStateResidencyInto(res.IdleResidency)
 	} else {
 		// A nil map, not an emptied one: it must compare equal to a fresh
 		// run's result, which never allocates the map without C-states.
 		res.IdleResidency = nil
 	}
-	res.OPPTransitions = s.core.Transitions()
+	res.OPPTransitions = p.core.Transitions()
 	res.MaxTempC, res.ThrottleEvents, res.ThrottledS = 0, 0, 0
-	if s.run.thermal != nil {
-		res.MaxTempC = s.run.thermal.MaxTempC()
-		res.ThrottleEvents = s.run.thermal.ThrottleEvents()
-		res.ThrottledS = s.run.thermal.ThrottledTime().Seconds()
+	if p.thermal != nil {
+		res.MaxTempC = p.thermal.MaxTempC()
+		res.ThrottleEvents = p.thermal.ThrottleEvents()
+		res.ThrottledS = p.thermal.ThrottledTime().Seconds()
 	}
-	if s.run.eaGov != nil {
+	if p.eaGov != nil {
 		// Copy the stats out: the governor's RelErr backing array is
 		// recycled by the next Reset, so the result must own its slice.
-		st := s.run.eaGov.PredStats()
+		st := p.eaGov.PredStats()
 		if res.Pred == nil {
 			res.Pred = new(core.PredictionStats)
 		}
@@ -449,7 +501,6 @@ func (s *Session) Finish(res *RunResult) error {
 	} else {
 		res.Pred = nil
 	}
-	return nil
 }
 
 // release tears down the per-run wiring: thermal sampler, governor ticker,

@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"fmt"
+
+	"videodvfs/internal/core"
+	"videodvfs/internal/cpu"
+	"videodvfs/internal/energy"
+	"videodvfs/internal/governor"
+	"videodvfs/internal/invariant"
+	"videodvfs/internal/netsim"
+	"videodvfs/internal/player"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/trace"
+	"videodvfs/internal/video"
+)
+
+// ViewerOptions customizes how a cohort viewer plugs into shared cohort
+// state. All fields are optional; the zero value wires a viewer exactly
+// like a standalone Run.
+type ViewerOptions struct {
+	// WrapBandwidth, if set, decorates the viewer's resolved bandwidth
+	// model before the downloader sees it. The cohort's cell-congestion
+	// model wraps the shared base trace here, so contention stacks on
+	// top of whatever profile the config selects.
+	WrapBandwidth func(netsim.Bandwidth) netsim.Bandwidth
+	// OnNetActivity, if set, observes the viewer's download busy/idle
+	// transitions — the signal the shared cell counts active flows
+	// from. It rides the player's hook chain because the downloader's
+	// own OnActive slot is single-listener and the player owns it.
+	OnNetActivity func(now sim.Time, active bool)
+	// OnDone fires inside the viewer's completion (or horizon-cut)
+	// event, after the viewer has stopped its background load. The
+	// cohort shard collects the result here, while the engine clock
+	// still reads the viewer's own end time.
+	OnDone func()
+}
+
+// Viewer is one streaming session wired into a SHARED virtual-time
+// engine: the full per-device component set of a Run — meter, CPU core,
+// governor, radio, downloader, player, background load, optional thermal
+// model — scheduling into an engine it does not own and never stops.
+// N viewers over one engine is the cohort substrate: one event slab, one
+// clock, shared immutable stream/bandwidth tables (the package caches),
+// per-viewer everything else.
+//
+// Construction mirrors Session.Reset's fresh path component for
+// component, in the same order, with the same RNG derivations — so a
+// single viewer started at t=0 replays a standalone Run's event sequence
+// exactly, and the N=1 cohort ≡ Run equivalence test can compare results
+// with DeepEqual rather than tolerances.
+type Viewer struct {
+	cfg  RunConfig // defaults applied
+	opts ViewerOptions
+	eng  *sim.Engine
+
+	meter   *energy.Meter
+	core    *cpu.Core
+	radio   *netsim.Radio
+	dl      *netsim.Downloader
+	ps      *player.Session
+	bg      *cpu.LoadGen
+	thermal *cpu.Thermal
+	gov     governor.Governor
+	eaGov   *core.Governor
+	chk     *invariant.Checker
+
+	bgActive bool
+	horizon  sim.Time // relative to join, same default as Run
+	join     sim.Time
+	started  bool
+	done     bool
+	cutOff   bool
+}
+
+// activityHooks decorates SessionHooks with a second download-activity
+// listener: the player consumes the downloader's single OnActive slot,
+// so shared-cell flow counting rides the hook chain instead. The cell's
+// listener runs first; the inner hooks (the video-aware governor) see
+// the identical call they would without the wrapper.
+type activityHooks struct {
+	player.SessionHooks
+	fn func(now sim.Time, active bool)
+}
+
+// DownloadActivity implements player.SessionHooks.
+func (h activityHooks) DownloadActivity(now sim.Time, active bool) {
+	h.fn(now, active)
+	h.SessionHooks.DownloadActivity(now, active)
+}
+
+// NewViewer builds a viewer over the shared engine, validating cfg the
+// same way Run does. Per-viewer OnSample and Tracer are rejected: a
+// shared engine multiplexes thousands of sessions, and per-viewer
+// callbacks are exactly the O(viewers) output the cohort design replaces
+// with online aggregation.
+func NewViewer(eng *sim.Engine, cfg RunConfig, opts ViewerOptions) (*Viewer, error) {
+	if cfg.Trace != nil && cfg.Duration <= 0 {
+		cfg.Duration = cfg.Trace.Duration()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.OnSample != nil || cfg.Tracer != nil {
+		return nil, fmt.Errorf("experiments: %w: per-viewer OnSample/Tracer not supported in a cohort (aggregate via rollups)",
+			ErrInvalidConfig)
+	}
+	if cfg.Device.Name == "" {
+		cfg.Device = cpu.DeviceFlagship()
+	}
+	if cfg.Title.Name == "" {
+		cfg.Title = video.TitleSports
+	}
+	if cfg.Rung.Name == "" {
+		cfg.Rung = video.R720p
+	}
+
+	v := &Viewer{cfg: cfg, opts: opts, eng: eng}
+	// An attached governor or thermal sampler keeps scheduling into the
+	// SHARED engine; a half-built viewer must detach on every error path
+	// or it would haunt the whole cohort.
+	ok := false
+	defer func() {
+		if !ok {
+			v.teardown()
+		}
+	}()
+
+	v.chk = buildChecker(cfg)
+	var tr trace.Tracer
+	if v.chk != nil {
+		// The checker rides as the tracer, exactly as in Session.Reset;
+		// no batcher — order (and therefore every verdict) is unchanged,
+		// and viewers have no downstream sink to amortize for.
+		tr = v.chk
+	}
+
+	v.meter = energy.NewMeter(eng)
+
+	var err error
+	v.core, err = cpu.NewCore(eng, cfg.Device)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CStates {
+		if err := v.core.EnableCStates(cpu.DefaultCStates()); err != nil {
+			return nil, err
+		}
+	}
+	if tr != nil {
+		v.core.SetTracer(tr)
+		v.core.OnPower(tracedListener(v.meter, energy.ComponentCPU, tr))
+	} else {
+		v.core.OnPower(v.meter.Listener(energy.ComponentCPU))
+	}
+
+	gov, hooks, eaGov, err := buildGovernor(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := gov.Attach(eng, v.core); err != nil {
+		return nil, err
+	}
+	v.gov, v.eaGov = gov, eaGov
+
+	bw, rrcCfg, err := buildBandwidth(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if opts.WrapBandwidth != nil {
+		bw = opts.WrapBandwidth(bw)
+	}
+	v.radio, err = netsim.NewRadio(eng, rrcCfg)
+	if err != nil {
+		return nil, err
+	}
+	if tr != nil {
+		v.radio.SetTracer(tr)
+		v.radio.OnPower(tracedListener(v.meter, energy.ComponentRadio, tr))
+	} else {
+		v.radio.OnPower(v.meter.Listener(energy.ComponentRadio))
+	}
+
+	v.dl, err = netsim.NewDownloader(eng, bw, v.radio, v.core, netsim.DefaultDownloaderConfig())
+	if err != nil {
+		return nil, err
+	}
+
+	if cfg.Thermal != nil {
+		v.thermal, err = cpu.StartThermal(eng, v.core, *cfg.Thermal)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.Background {
+		bgSeed := cfg.Seed
+		if cfg.BGSeed != 0 {
+			bgSeed = cfg.BGSeed
+		}
+		v.bg, err = cpu.StartLoadGen(eng, v.core, sim.Stream(bgSeed, "bgload"), cpu.DefaultLoadGenConfig())
+		if err != nil {
+			return nil, err
+		}
+		v.bgActive = true
+	}
+
+	renditions, algo, err := buildRenditions(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	pcfg := player.DefaultConfig()
+	if cfg.SegmentDur > 0 {
+		pcfg.SegmentDur = cfg.SegmentDur
+	}
+	pcfg.ABR = algo
+	pcfg.Hooks = hooks
+	if opts.OnNetActivity != nil {
+		inner := hooks
+		if inner == nil {
+			inner = player.NopSessionHooks{}
+		}
+		pcfg.Hooks = activityHooks{SessionHooks: inner, fn: opts.OnNetActivity}
+	}
+	pcfg.Meter = v.meter
+	pcfg.Tracer = tr
+	if cfg.LowLatency {
+		pcfg.StartupSec = 1
+		pcfg.ResumeSec = 0.5
+		pcfg.MaxBufferSec = 4
+		pcfg.DecodedQueueCap = 3
+	}
+	if cfg.DecodedQueueCap > 0 {
+		pcfg.DecodedQueueCap = cfg.DecodedQueueCap
+	}
+	pcfg.LowWaterSec = cfg.LowWaterSec
+	v.ps, err = player.NewSession(eng, v.core, v.dl, renditions, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	v.ps.OnDone(v.handleDone)
+
+	v.horizon = cfg.Duration*6 + 60*sim.Second
+	if cfg.Horizon > 0 {
+		v.horizon = cfg.Horizon
+	}
+	ok = true
+	return v, nil
+}
+
+// Start begins the viewer's playback at the engine's current time — its
+// join time. The cohort calls it directly for t=0 joins (preserving the
+// exact pre-run scheduling order of a standalone Run) and from arrival
+// events for later ones.
+func (v *Viewer) Start() {
+	v.join = v.eng.Now()
+	v.started = true
+	v.ps.Start()
+}
+
+// Done reports whether the viewer finished (completed, failed, or was
+// cut at its horizon).
+func (v *Viewer) Done() bool { return v.done }
+
+// Deadline returns the absolute virtual time of the viewer's horizon
+// cap; valid after Start.
+func (v *Viewer) Deadline() sim.Time { return v.join + v.horizon }
+
+// handleDone runs inside the player's completion event: stop the
+// background load at the viewer's own end time (exactly what Run's stop
+// callback does), then hand off to the cohort — which collects now,
+// while the engine clock reads this viewer's end — WITHOUT stopping the
+// shared engine.
+func (v *Viewer) handleDone() {
+	if v.done {
+		return
+	}
+	v.done = true
+	if v.bgActive {
+		v.bg.Stop()
+	}
+	if v.opts.OnDone != nil {
+		v.opts.OnDone()
+	}
+}
+
+// Cut force-finishes a viewer still streaming when its horizon hits —
+// the shared-engine analogue of RunUntil returning at the horizon with
+// the session incomplete. It reports false (and does nothing) when the
+// viewer already finished; the cohort schedules a cut event per viewer
+// unconditionally, so the common case is a no-op. A cut viewer's
+// leftover player events drain harmlessly in the shared engine (they
+// mirror the events a standalone Run leaves in the heap at its horizon);
+// its Finish reports ErrHorizonExceeded, matching Run.
+func (v *Viewer) Cut() bool {
+	if v.done {
+		return false
+	}
+	v.done = true
+	v.cutOff = true
+	if v.bgActive {
+		v.bg.Stop()
+	}
+	if v.opts.OnDone != nil {
+		v.opts.OnDone()
+	}
+	return true
+}
+
+// Finish closes out a done viewer: energy accounting, the error and
+// invariant checks of Session.Finish in the same order, and the shared
+// collectResult path into res (reusing res's maps — the cohort passes
+// one scratch RunResult per shard, never one per viewer). Call it from
+// OnDone, while the engine clock still reads the viewer's end time.
+func (v *Viewer) Finish(res *RunResult) error {
+	if !v.done {
+		return fmt.Errorf("experiments: viewer still streaming; Finish belongs in OnDone")
+	}
+	defer v.teardown()
+	v.meter.Finish()
+	if err := v.ps.Err(); err != nil {
+		return fmt.Errorf("experiments: session: %w", err)
+	}
+	p := resultParts{
+		cfg:     v.cfg,
+		gov:     v.gov,
+		eaGov:   v.eaGov,
+		eng:     v.eng,
+		meter:   v.meter,
+		core:    v.core,
+		radio:   v.radio,
+		dl:      v.dl,
+		ps:      v.ps,
+		thermal: v.thermal,
+	}
+	if err := finalizeChecker(v.chk, p); err != nil {
+		return err
+	}
+	if m := v.ps.Metrics(); !m.Completed {
+		return fmt.Errorf("experiments: %w: session at %d/%d frames when the %v horizon hit",
+			ErrHorizonExceeded, m.DisplayedFrames+m.DroppedFrames, m.TotalFrames, v.horizon)
+	}
+	if v.dl.Err() != nil {
+		return fmt.Errorf("experiments: downloader: %w", v.dl.Err())
+	}
+	if v.bgActive && v.bg.Err() != nil {
+		return fmt.Errorf("experiments: background load: %w", v.bg.Err())
+	}
+	collectResult(p, res)
+	return nil
+}
+
+// teardown quiesces the viewer's recurring machinery in the shared
+// engine — thermal sampler, governor ticker — and detaches the checker
+// from the component tracers so post-finalize radio-tail events (which a
+// standalone Run's stopped engine never fires) cannot reach it.
+func (v *Viewer) teardown() {
+	if v.thermal != nil {
+		v.thermal.Stop()
+		v.thermal = nil
+	}
+	if v.gov != nil {
+		v.gov.Detach()
+		v.gov = nil
+	}
+	if v.chk != nil {
+		if v.core != nil {
+			v.core.SetTracer(nil)
+		}
+		if v.radio != nil {
+			v.radio.SetTracer(nil)
+		}
+	}
+}

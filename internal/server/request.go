@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"videodvfs/internal/cohort"
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/experiments"
 	"videodvfs/internal/sim"
@@ -124,7 +125,11 @@ func (r RunRequest) Config() (experiments.RunConfig, error) {
 		cfg.ABR = abr
 	}
 	if r.Net != "" {
-		cfg.Net = experiments.NetKind(r.Net)
+		net, err := experiments.ParseNetKind(r.Net)
+		if err != nil {
+			return cfg, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		cfg.Net = net
 	}
 	if r.DurationS != 0 {
 		cfg.Duration = sim.Time(r.DurationS) * sim.Second
@@ -245,7 +250,11 @@ func (r SweepRequest) Configs() ([]experiments.RunConfig, error) {
 		sw.Governors = append(sw.Governors, gov)
 	}
 	for _, n := range r.Nets {
-		sw.Nets = append(sw.Nets, experiments.NetKind(n))
+		net, err := experiments.ParseNetKind(n)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		sw.Nets = append(sw.Nets, net)
 	}
 	for _, d := range r.Devices {
 		dev, err := cpu.DeviceByName(d)
@@ -289,6 +298,81 @@ func (r SweepRequest) Configs() ([]experiments.RunConfig, error) {
 	return cfgs, nil
 }
 
+// CohortRequest is the wire form of one cohort run: a base per-viewer
+// request plus population, arrival process, shared-cell contention, and
+// rollup cadence. Zero values inherit the cohort defaults (1000 viewers
+// all joining at t=0, 10 s rollups).
+type CohortRequest struct {
+	// Base is the per-viewer session template; `{}` is the evaluation's
+	// base case.
+	Base RunRequest `json:"base"`
+	// Viewers is the cohort size (0 = 1000).
+	Viewers int `json:"viewers,omitempty"`
+	// Arrival names the join process: "all" (default), "uniform",
+	// "burst", "poisson".
+	Arrival string `json:"arrival,omitempty"`
+	// ArrivalWindowS is the join window in virtual seconds (uniform,
+	// burst).
+	ArrivalWindowS float64 `json:"arrival_window_s,omitempty"`
+	// ArrivalRatePerSec is the mean join rate (poisson).
+	ArrivalRatePerSec float64 `json:"arrival_rate_per_sec,omitempty"`
+	// Cell, when set, makes viewers contend for shared sector bandwidth.
+	Cell *CellRequest `json:"cell,omitempty"`
+	// Shards overrides the engine-shard count (0 = derived; part of the
+	// result identity).
+	Shards int `json:"shards,omitempty"`
+	// RollupS is the aggregate-snapshot cadence in virtual seconds
+	// (0 = 10).
+	RollupS float64 `json:"rollup_s,omitempty"`
+	// Seed drives the per-viewer seed split (0 = the base seed).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// CellRequest is the wire form of a shared radio sector model.
+type CellRequest struct {
+	// CapacityMbps is each sector's shared downlink capacity.
+	CapacityMbps float64 `json:"capacity_mbps"`
+	// PerViewerMbps caps one viewer's share (0 = capacity).
+	PerViewerMbps float64 `json:"per_viewer_mbps,omitempty"`
+	// Sectors spreads the cohort over this many independent sectors
+	// (0 = 1).
+	Sectors int `json:"sectors,omitempty"`
+}
+
+// Config resolves the request into a concrete validated cohort.Config.
+func (r CohortRequest) Config() (cohort.Config, error) {
+	base, err := r.Base.Config()
+	if err != nil {
+		return cohort.Config{}, fmt.Errorf("server: cohort base: %w", err)
+	}
+	cfg := cohort.DefaultConfig()
+	cfg.Base = base
+	if r.Viewers != 0 {
+		cfg.Viewers = r.Viewers
+	}
+	cfg.Arrival = cohort.Arrival{
+		Kind:       cohort.ArrivalKind(r.Arrival),
+		Window:     sim.Time(r.ArrivalWindowS) * sim.Second,
+		RatePerSec: r.ArrivalRatePerSec,
+	}
+	if c := r.Cell; c != nil {
+		cfg.Cell = &cohort.Cell{
+			CapacityMbps:  c.CapacityMbps,
+			PerViewerMbps: c.PerViewerMbps,
+			Sectors:       c.Sectors,
+		}
+	}
+	cfg.Shards = r.Shards
+	if r.RollupS != 0 {
+		cfg.Rollup = sim.Time(r.RollupS) * sim.Second
+	}
+	cfg.Seed = r.Seed
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	return cfg, nil
+}
+
 // decodeStrict unmarshals exactly one JSON value from r into v, rejecting
 // unknown fields and trailing non-whitespace. Errors wrap ErrBadRequest.
 func decodeStrict(r io.Reader, v any) error {
@@ -315,6 +399,14 @@ func DecodeRunRequest(r io.Reader) (RunRequest, error) {
 // rules as DecodeRunRequest.
 func DecodeSweepRequest(r io.Reader) (SweepRequest, error) {
 	var req SweepRequest
+	err := decodeStrict(r, &req)
+	return req, err
+}
+
+// DecodeCohortRequest parses one CohortRequest from r under the same
+// strict rules as DecodeRunRequest.
+func DecodeCohortRequest(r io.Reader) (CohortRequest, error) {
+	var req CohortRequest
 	err := decodeStrict(r, &req)
 	return req, err
 }

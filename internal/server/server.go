@@ -1,7 +1,7 @@
 // Package server turns the deterministic simulator into a long-running
-// HTTP/JSON service: single runs, batch sweeps, and named experiments
-// execute on a bounded campaign worker pool behind a content-addressed
-// result cache. Determinism is the load-bearing property — a RunConfig's
+// HTTP/JSON service: single runs, batch sweeps, cohort runs, and named
+// experiments execute on a bounded campaign worker pool behind a
+// content-addressed result cache. Determinism is the load-bearing property — a RunConfig's
 // result never changes, so responses are cached forever, concurrent
 // identical requests coalesce into one simulation, and a cache hit is
 // byte-identical to the miss that populated it.
@@ -18,6 +18,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"videodvfs/internal/campaign"
+	"videodvfs/internal/cohort"
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/experiments"
 	"videodvfs/internal/sim"
@@ -61,6 +63,9 @@ type Config struct {
 	// MaxSweepRuns rejects sweeps expanding to more runs than this
 	// (≤0 = 1024).
 	MaxSweepRuns int
+	// MaxCohortViewers rejects cohorts larger than this
+	// (≤0 = 200_000).
+	MaxCohortViewers int
 	// MaxBodyBytes bounds request bodies (≤0 = 1 MiB).
 	MaxBodyBytes int64
 	// Runner executes one simulation (nil = experiments.Run). Tests
@@ -83,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSweepRuns <= 0 {
 		c.MaxSweepRuns = 1024
+	}
+	if c.MaxCohortViewers <= 0 {
+		c.MaxCohortViewers = 200_000
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
@@ -117,6 +125,7 @@ func New(cfg Config) *Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/cohort", s.handleCohort)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
@@ -153,14 +162,55 @@ func (s *Server) CacheStats() (hits, misses, coalesced int64) {
 
 // ---- response plumbing ----
 
+// Machine-readable error codes: every non-2xx response from a /v1/*
+// endpoint carries exactly one envelope {"error":{"code","message"}},
+// where code is one of these and message is human-readable detail.
+// Clients branch on the code (or the status), never on message text.
+const (
+	// CodeBadRequest: the body or query string could not be decoded
+	// (malformed JSON, unknown fields, bad parameter values). HTTP 400.
+	CodeBadRequest = "bad_request"
+	// CodeInvalidConfig: the request decoded but names an impossible
+	// simulation (catalog miss, semantic violation, over-cap size). HTTP 400.
+	CodeInvalidConfig = "invalid_config"
+	// CodeOverloaded: admission control bounced the request; retry after
+	// the Retry-After hint. HTTP 429.
+	CodeOverloaded = "overloaded"
+	// CodeHorizonExceeded: a well-formed scenario that cannot complete
+	// within its virtual-time horizon. HTTP 422.
+	CodeHorizonExceeded = "horizon_exceeded"
+	// CodeNotFound: the named resource (experiment ID) does not exist.
+	// HTTP 404.
+	CodeNotFound = "not_found"
+	// CodeDraining: the server is shutting down and not admitting new
+	// work. HTTP 503.
+	CodeDraining = "draining"
+	// CodeTooLarge: the request body exceeded the service's byte cap.
+	// HTTP 413.
+	CodeTooLarge = "too_large"
+	// CodeInternal: an unexpected server-side failure. HTTP 500.
+	CodeInternal = "internal"
+)
+
+// errorBody is the uniform error envelope.
 type errorBody struct {
-	Error string `json:"error"`
+	Error errorDetail `json:"error"`
+}
+
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func errBody(code, message string) errorBody {
+	return errorBody{Error: errorDetail{Code: code, Message: message}}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	body, err := json.Marshal(v)
 	if err != nil {
-		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		http.Error(w, `{"error":{"code":"internal","message":"encoding failure"}}`,
+			http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -168,24 +218,35 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(body, '\n'))
 }
 
-// writeError maps the service's error taxonomy onto HTTP statuses:
-// decode failures and invalid configs are the client's fault (400),
-// admission bounces are 429 with a Retry-After hint, a horizon-exceeded
-// run is a well-formed request whose scenario cannot complete (422), and
-// anything else is a server-side 500.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// codeStatus maps the service's error taxonomy onto an envelope code and
+// HTTP status: decode failures and invalid configs are the client's
+// fault (400), admission bounces are 429, a horizon-exceeded run is a
+// well-formed request whose scenario cannot complete (422), and anything
+// else is a server-side 500.
+func codeStatus(err error) (code string, status int) {
 	switch {
-	case errors.Is(err, ErrBadRequest), errors.Is(err, experiments.ErrInvalidConfig):
-		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest, http.StatusBadRequest
+	case errors.Is(err, experiments.ErrInvalidConfig):
+		return CodeInvalidConfig, http.StatusBadRequest
 	case errors.Is(err, ErrOverloaded), errors.Is(err, campaign.ErrPoolClosed):
+		return CodeOverloaded, http.StatusTooManyRequests
+	case errors.Is(err, experiments.ErrHorizonExceeded):
+		return CodeHorizonExceeded, http.StatusUnprocessableEntity
+	default:
+		return CodeInternal, http.StatusInternalServerError
+	}
+}
+
+// writeError renders err as the uniform envelope, with the Retry-After
+// estimate on admission bounces.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code, status := codeStatus(err)
+	if code == CodeOverloaded {
 		s.met.reject()
 		w.Header().Set("Retry-After", s.retryAfter())
-		writeJSON(w, http.StatusTooManyRequests, errorBody{err.Error()})
-	case errors.Is(err, experiments.ErrHorizonExceeded):
-		writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
-	default:
-		writeJSON(w, http.StatusInternalServerError, errorBody{err.Error()})
 	}
+	writeJSON(w, status, errBody(code, err.Error()))
 }
 
 // retryAfter estimates seconds until queue space frees: the backlog
@@ -316,7 +377,7 @@ func strictParam(r *http.Request) (bool, error) {
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.met.request("run")
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{"draining"})
+		writeJSON(w, http.StatusServiceUnavailable, errBody(CodeDraining, "server draining, not admitting new work"))
 		return
 	}
 	req, err := DecodeRunRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -377,7 +438,7 @@ func (s *Server) handleRunTraced(w http.ResponseWriter, cfg experiments.RunConfi
 	}
 	if err != nil {
 		// Headers are gone; surface the failure in-band as a final line.
-		if body, merr := json.Marshal(errorBody{err.Error()}); merr == nil {
+		if body, merr := json.Marshal(errBody(CodeInternal, err.Error())); merr == nil {
 			w.Write(append(body, '\n'))
 		}
 		return
@@ -409,7 +470,7 @@ type sweepOutcome struct {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.met.request("sweep")
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{"draining"})
+		writeJSON(w, http.StatusServiceUnavailable, errBody(CodeDraining, "server draining, not admitting new work"))
 		return
 	}
 	req, err := DecodeSweepRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -479,6 +540,172 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sweepBody{Count: len(outcomes), Outcomes: outcomes})
 }
 
+// ---- cohort endpoint ----
+
+// cohortRollupFrame and cohortSummaryFrame are the NDJSON lines of a
+// /v1/cohort response: periodic rollup frames followed by one summary.
+type cohortRollupFrame struct {
+	Ev     string        `json:"ev"`
+	Rollup cohort.Rollup `json:"rollup"`
+}
+
+type cohortSummaryFrame struct {
+	Ev     string        `json:"ev"`
+	Key    string        `json:"key,omitempty"`
+	Result cohort.Result `json:"result"`
+}
+
+// executeCohort runs one cohort through the admission-controlled pool as
+// a single task (the cohort fans its shards over its own workers) and
+// blocks for its result.
+func (s *Server) executeCohort(cfg cohort.Config) (cohort.Result, error) {
+	type outcome struct {
+		res cohort.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	seq := int(s.runSeq.Add(1))
+	task := func() {
+		t0 := time.Now()
+		var res cohort.Result
+		err := campaign.Protect(seq, func() error {
+			var rerr error
+			res, rerr = cohort.Run(cfg)
+			return rerr
+		})
+		s.met.observeRun(time.Since(t0), err)
+		ch <- outcome{res, err}
+	}
+	if !s.pool.TrySubmit(task) {
+		return cohort.Result{}, ErrOverloaded
+	}
+	out := <-ch
+	return out.res, out.err
+}
+
+// handleCohort runs a whole viewer population in cohort mode and answers
+// with an NDJSON stream: {"ev":"rollup",...} frames at every virtual-time
+// rollup barrier, closing with one {"ev":"summary","result":...} line.
+//
+// By default the full stream is buffered and served through the result
+// cache (the rollup stream is deterministic, so a hit is byte-identical
+// to the run that populated it); ?stream=1 bypasses the cache and
+// flushes each frame as its barrier completes. Strict cohorts
+// (?strict=1) are uncacheable by construction, exactly like strict runs.
+func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
+	s.met.request("cohort")
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errBody(CodeDraining, "server draining, not admitting new work"))
+		return
+	}
+	req, err := DecodeCohortRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if cfg.Viewers > s.cfg.MaxCohortViewers {
+		s.writeError(w, fmt.Errorf("server: %w: cohort of %d viewers exceeds the service cap %d",
+			experiments.ErrInvalidConfig, cfg.Viewers, s.cfg.MaxCohortViewers))
+		return
+	}
+	if err := s.prepare(&cfg.Base); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	strict, err := strictParam(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	cfg.Base.Strict = strict
+	stream := false
+	switch v := r.URL.Query().Get("stream"); v {
+	case "", "0", "false":
+	case "1", "true":
+		stream = true
+	default:
+		s.writeError(w, fmt.Errorf("%w: unknown stream value %q (1)", ErrBadRequest, v))
+		return
+	}
+	key, cacheable := cohort.Key(cfg)
+	if stream {
+		s.handleCohortStream(w, key, cfg)
+		return
+	}
+	compute := func() ([]byte, error) {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		runCfg := cfg
+		runCfg.OnRollup = func(ru cohort.Rollup) {
+			enc.Encode(cohortRollupFrame{Ev: "rollup", Rollup: ru})
+		}
+		res, err := s.executeCohort(runCfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := enc.Encode(cohortSummaryFrame{Ev: "summary", Key: key, Result: res}); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	var body []byte
+	outcome := cacheBypass
+	if cacheable {
+		body, outcome, err = s.cache.Do("cohort/"+key, compute)
+	} else {
+		body, err = compute()
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Dvfsd-Cache", string(outcome))
+	w.Write(body)
+}
+
+// handleCohortStream is the live-streaming variant: frames go out as
+// their barriers complete. Failures after the first frame surface
+// in-band as a final envelope line, like traced runs.
+func (s *Server) handleCohortStream(w http.ResponseWriter, key string, cfg cohort.Config) {
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	wrote := false
+	cfg.OnRollup = func(ru cohort.Rollup) {
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Dvfsd-Cache", string(cacheBypass))
+			wrote = true
+		}
+		enc.Encode(cohortRollupFrame{Ev: "rollup", Rollup: ru})
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+	res, err := s.executeCohort(cfg)
+	if err != nil {
+		if !wrote {
+			s.writeError(w, err) // nothing sent yet: a proper status is still possible
+			return
+		}
+		code, _ := codeStatus(err)
+		if body, merr := json.Marshal(errBody(code, err.Error())); merr == nil {
+			w.Write(append(body, '\n'))
+		}
+		return
+	}
+	if !wrote {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Dvfsd-Cache", string(cacheBypass))
+	}
+	enc.Encode(cohortSummaryFrame{Ev: "summary", Key: key, Result: res})
+}
+
 // experimentBody is the cached response of one named experiment.
 type experimentBody struct {
 	ID    string            `json:"id"`
@@ -488,13 +715,13 @@ type experimentBody struct {
 func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	s.met.request("experiment")
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{"draining"})
+		writeJSON(w, http.StatusServiceUnavailable, errBody(CodeDraining, "server draining, not admitting new work"))
 		return
 	}
 	id := r.PathValue("id")
 	builder, err := experiments.Get(id)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorBody{err.Error()})
+		writeJSON(w, http.StatusNotFound, errBody(CodeNotFound, err.Error()))
 		return
 	}
 	// Experiments are identified by ID, not content: the table is a pure
@@ -599,7 +826,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
-		writeJSON(w, http.StatusRequestEntityTooLarge, errorBody{err.Error()})
+		writeJSON(w, http.StatusRequestEntityTooLarge, errBody(CodeTooLarge, err.Error()))
 		return
 	}
 	s.writeError(w, err)

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"videodvfs/internal/cohort"
 	"videodvfs/internal/experiments"
 	"videodvfs/internal/sim"
 )
@@ -244,8 +245,11 @@ func TestQueueFull429(t *testing.T) {
 		t.Fatal("429 without Retry-After")
 	}
 	var eb errorBody
-	if err := json.Unmarshal(readAll(t, resp), &eb); err != nil || eb.Error == "" {
-		t.Fatalf("429 body not an error JSON: %v", err)
+	if err := json.Unmarshal(readAll(t, resp), &eb); err != nil || eb.Error.Code != CodeOverloaded {
+		t.Fatalf("429 body is not an %q envelope: %v %+v", CodeOverloaded, err, eb)
+	}
+	if eb.Error.Message == "" {
+		t.Fatal("429 envelope has no message")
 	}
 }
 
@@ -290,7 +294,10 @@ func TestShutdownDrains(t *testing.T) {
 	if resp := postJSON(t, ts.URL+"/v1/run", `{"duration_s": 5, "seed": 2}`); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("request during drain got %d, want 503", resp.StatusCode)
 	} else {
-		readAll(t, resp)
+		var eb errorBody
+		if err := json.Unmarshal(readAll(t, resp), &eb); err != nil || eb.Error.Code != CodeDraining {
+			t.Fatalf("503 body is not a %q envelope: %+v", CodeDraining, eb)
+		}
 	}
 	if resp := mustGet(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz during drain got %d, want 503", resp.StatusCode)
@@ -613,25 +620,40 @@ func TestRunTraceStream(t *testing.T) {
 	}
 }
 
+// Every failure path of every endpoint must answer with the one
+// documented envelope {"error":{"code","message"}} and the right
+// status/code pair. (429 is exercised with scripted load in
+// TestQueueFull429, 422 in TestHorizonExceeded422, and 503 in
+// TestShutdownDrains, against the same envelope.)
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxBodyBytes: 2048})
 	cases := []struct {
 		name, path, body string
 		wantStatus       int
+		wantCode         string
 	}{
-		{"malformed JSON", "/v1/run", `{"duration`, http.StatusBadRequest},
-		{"unknown field", "/v1/run", `{"durations": 5}`, http.StatusBadRequest},
-		{"trailing garbage", "/v1/run", `{} {}`, http.StatusBadRequest},
-		{"unknown governor", "/v1/run", `{"governor": "warpdrive"}`, http.StatusBadRequest},
-		{"unknown device", "/v1/run", `{"device": "mainframe"}`, http.StatusBadRequest},
-		{"unknown net", "/v1/run", `{"net": "5g"}`, http.StatusBadRequest},
-		{"negative duration", "/v1/run", `{"duration_s": -3}`, http.StatusBadRequest},
-		{"over duration cap", "/v1/run", `{"duration_s": 1e9}`, http.StatusBadRequest},
-		{"unknown trace mode", "/v1/run?trace=csv", `{}`, http.StatusBadRequest},
-		{"oversized body", "/v1/run", `{"codec": "` + strings.Repeat("x", 4096) + `"}`, http.StatusRequestEntityTooLarge},
-		{"sweep seeds conflict", "/v1/sweep", `{"base": {}, "seeds": [1], "seed_range": [1, 2]}`, http.StatusBadRequest},
-		{"sweep too large", "/v1/sweep", `{"base": {}, "seed_range": [1, 100000]}`, http.StatusBadRequest},
-		{"unknown experiment", "/v1/experiments/zz", ``, http.StatusNotFound},
+		{"malformed JSON", "/v1/run", `{"duration`, http.StatusBadRequest, CodeBadRequest},
+		{"unknown field", "/v1/run", `{"durations": 5}`, http.StatusBadRequest, CodeBadRequest},
+		{"trailing garbage", "/v1/run", `{} {}`, http.StatusBadRequest, CodeBadRequest},
+		{"unknown governor", "/v1/run", `{"governor": "warpdrive"}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"unknown device", "/v1/run", `{"device": "mainframe"}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"unknown net", "/v1/run", `{"net": "5g"}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"negative duration", "/v1/run", `{"duration_s": -3}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"over duration cap", "/v1/run", `{"duration_s": 1e9}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"unknown trace mode", "/v1/run?trace=csv", `{}`, http.StatusBadRequest, CodeBadRequest},
+		{"bad strict value", "/v1/run?strict=yes", `{}`, http.StatusBadRequest, CodeBadRequest},
+		{"oversized body", "/v1/run", `{"codec": "` + strings.Repeat("x", 4096) + `"}`, http.StatusRequestEntityTooLarge, CodeTooLarge},
+		{"sweep seeds conflict", "/v1/sweep", `{"base": {}, "seeds": [1], "seed_range": [1, 2]}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"sweep too large", "/v1/sweep", `{"base": {}, "seed_range": [1, 100000]}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"sweep unknown net", "/v1/sweep", `{"base": {}, "nets": ["5g"]}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"unknown experiment", "/v1/experiments/zz", ``, http.StatusNotFound, CodeNotFound},
+		{"cohort malformed", "/v1/cohort", `{"viewers`, http.StatusBadRequest, CodeBadRequest},
+		{"cohort unknown field", "/v1/cohort", `{"spectators": 5}`, http.StatusBadRequest, CodeBadRequest},
+		{"cohort bad arrival", "/v1/cohort", `{"arrival": "flashmob"}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"cohort bad base net", "/v1/cohort", `{"base": {"net": "5g"}}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"cohort bad cell", "/v1/cohort", `{"cell": {"capacity_mbps": -1}}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"cohort over viewer cap", "/v1/cohort", `{"viewers": 99000000}`, http.StatusBadRequest, CodeInvalidConfig},
+		{"cohort bad stream value", "/v1/cohort?stream=maybe", `{}`, http.StatusBadRequest, CodeBadRequest},
 	}
 	for _, tc := range cases {
 		resp := postJSON(t, ts.URL+tc.path, tc.body)
@@ -641,8 +663,12 @@ func TestBadRequests(t *testing.T) {
 			continue
 		}
 		var eb errorBody
-		if err := json.Unmarshal(b, &eb); err != nil || eb.Error == "" {
-			t.Errorf("%s: body is not an error JSON: %s", tc.name, b)
+		if err := json.Unmarshal(b, &eb); err != nil || eb.Error.Code != tc.wantCode {
+			t.Errorf("%s: body is not an %q envelope: %s", tc.name, tc.wantCode, b)
+			continue
+		}
+		if eb.Error.Message == "" {
+			t.Errorf("%s: envelope has no message", tc.name)
 		}
 	}
 }
@@ -652,10 +678,14 @@ func TestBadRequests(t *testing.T) {
 func TestHorizonExceeded422(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	resp := postJSON(t, ts.URL+"/v1/run", `{"duration_s": 30, "horizon_s": 5}`)
+	b := readAll(t, resp)
 	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("status %d, want 422: %s", resp.StatusCode, readAll(t, resp))
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, b)
 	}
-	readAll(t, resp)
+	var eb errorBody
+	if err := json.Unmarshal(b, &eb); err != nil || eb.Error.Code != CodeHorizonExceeded {
+		t.Fatalf("422 body is not a %q envelope: %s", CodeHorizonExceeded, b)
+	}
 }
 
 func TestHealthAndCatalog(t *testing.T) {
@@ -747,6 +777,97 @@ func TestStrictRunBypassesCache(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("strict=yes: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// The cohort endpoint must stream rollup frames and a summary whose
+// result matches the direct library path, serve repeats byte-identically
+// from the cache, and produce the same bytes when live-streaming.
+func TestCohortEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const body = `{"base": {"duration_s": 6}, "viewers": 8, "rollup_s": 5, "seed": 4}`
+
+	resp := postJSON(t, ts.URL+"/v1/cohort", body)
+	first := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, first)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	if got := resp.Header.Get("X-Dvfsd-Cache"); got != "miss" {
+		t.Fatalf("first cohort cache header = %q, want miss", got)
+	}
+	lines := bytes.Split(bytes.TrimSpace(first), []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatalf("cohort stream has only %d lines:\n%s", len(lines), first)
+	}
+	for i, ln := range lines[:len(lines)-1] {
+		var frame struct {
+			Ev     string        `json:"ev"`
+			Rollup cohort.Rollup `json:"rollup"`
+		}
+		if err := json.Unmarshal(ln, &frame); err != nil || frame.Ev != "rollup" {
+			t.Fatalf("line %d is not a rollup frame: %s", i, ln)
+		}
+	}
+	var final struct {
+		Ev     string        `json:"ev"`
+		Key    string        `json:"key"`
+		Result cohort.Result `json:"result"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &final); err != nil || final.Ev != "summary" {
+		t.Fatalf("final line is not a summary: %s", lines[len(lines)-1])
+	}
+	if final.Result.Completed != 8 || final.Result.Errors != 0 {
+		t.Fatalf("cohort did not complete: %+v", final.Result)
+	}
+
+	// The served summary must match the direct library path under the
+	// same horizon the server pins.
+	cfg := cohort.DefaultConfig()
+	cfg.Base.Duration = 6 * sim.Second
+	cfg.Base.Horizon = cfg.Base.Duration*6 + 60*sim.Second
+	cfg.Viewers = 8
+	cfg.Rollup = 5 * sim.Second
+	cfg.Seed = 4
+	direct, err := cohort.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(final.Result, direct) {
+		t.Fatalf("served cohort drifted from direct run:\nserved: %+v\ndirect: %+v", final.Result, direct)
+	}
+	if wantKey, _ := cohort.Key(cfg); final.Key != wantKey {
+		t.Fatalf("served key %s, want canonical %s", final.Key, wantKey)
+	}
+
+	// A repeat is a cache hit, byte-identical to the miss.
+	resp = postJSON(t, ts.URL+"/v1/cohort", body)
+	second := readAll(t, resp)
+	if got := resp.Header.Get("X-Dvfsd-Cache"); got != "hit" {
+		t.Fatalf("second cohort cache header = %q, want hit", got)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cohort cache hit differs from the miss that stored it")
+	}
+
+	// Live streaming bypasses the cache but produces the same bytes —
+	// the rollup stream is deterministic either way.
+	resp = postJSON(t, ts.URL+"/v1/cohort?stream=1", body)
+	streamed := readAll(t, resp)
+	if got := resp.Header.Get("X-Dvfsd-Cache"); got != "bypass" {
+		t.Fatalf("streamed cohort cache header = %q, want bypass", got)
+	}
+	if !bytes.Equal(first, streamed) {
+		t.Fatalf("streamed cohort differs from cached body:\ncached:\n%sstreamed:\n%s", first, streamed)
+	}
+
+	// Strict cohorts are uncacheable: audited, never pinned.
+	resp = postJSON(t, ts.URL+"/v1/cohort?strict=1", body)
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Dvfsd-Cache"); got != "bypass" {
+		t.Fatalf("strict cohort cache header = %q, want bypass", got)
 	}
 }
 

@@ -48,6 +48,22 @@ func ChildSeed(seed int64, name string) int64 {
 	return int64(h)
 }
 
+// ChildSeedN derives the n-th member of an indexed seed family: FNV-1a
+// over the seed's eight little-endian bytes, the name, and n's eight
+// little-endian bytes. Cohort runs use it to split one root seed into a
+// per-viewer stream ("cohort/bgload", viewer index) deterministically —
+// the split depends only on (seed, name, n), never on worker count or
+// scheduling, so sharded and serial cohorts draw identical streams.
+func ChildSeedN(seed int64, name string, n int) int64 {
+	const prime64 uint64 = 1099511628211
+	h := uint64(ChildSeed(seed, name))
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(uint64(n) >> (8 * i)))
+		h *= prime64
+	}
+	return int64(h)
+}
+
 // Reseed rewinds the stream to the state NewRNG(seed) would start in,
 // reusing the underlying source. Combined with ChildSeed it recycles a
 // component stream across simulation runs without reconstructing it.

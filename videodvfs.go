@@ -186,12 +186,22 @@ func ParseGovernor(name string) (Governor, error) { return experiments.ParseGove
 // ErrUnknownABR.
 func ParseABR(name string) (ABR, error) { return experiments.ParseABRID(name) }
 
+// Nets returns every network profile Run accepts, in report order.
+func Nets() []NetKind { return experiments.NetKinds() }
+
+// ParseNet validates a network-profile name from an untrusted source.
+// The empty string parses as NetWiFi (Run's default); unknown names
+// return an error matching ErrUnknownNet.
+func ParseNet(name string) (NetKind, error) { return experiments.ParseNetKind(name) }
+
 // Typed sentinel errors; distinguish with errors.Is.
 var (
 	// ErrUnknownGovernor reports a governor name outside Governors().
 	ErrUnknownGovernor = experiments.ErrUnknownGovernor
 	// ErrUnknownABR reports an ABR name outside ABRs().
 	ErrUnknownABR = experiments.ErrUnknownABR
+	// ErrUnknownNet reports a network-profile name outside Nets().
+	ErrUnknownNet = experiments.ErrUnknownNet
 	// ErrInvalidConfig reports a RunConfig rejected by validation before
 	// any simulation state was built.
 	ErrInvalidConfig = experiments.ErrInvalidConfig
