@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test alloc-budget fuzz-short strict golden trace-golden bench bench-compare bench-baseline bench-gate profile
+.PHONY: check vet build test alloc-budget fleet-e2e fuzz-short strict golden trace-golden bench bench-compare bench-baseline bench-gate profile
 
 # The full gate: vet, build, race-enabled tests (includes the golden
-# regression suite and the parallel/serial equivalence test), and the
-# zero-allocation budget for the steady-state run loop.
-check: vet build test alloc-budget
+# regression suite and the parallel/serial equivalence test), the
+# zero-allocation budget for the steady-state run loop, and the fleet
+# end-to-end battery.
+check: vet build test alloc-budget fleet-e2e
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +22,15 @@ test:
 alloc-budget:
 	$(GO) test ./internal/experiments -run TestRunLoopAllocBudget -count 1
 	$(GO) test ./internal/sim -run TestEngineScheduleFireAllocFree -count 1
+
+# The fleet end-to-end battery, -count 1 so it always re-executes: a
+# dvfsctl controller over real httptest dvfsd workers (byte-identical
+# sweep/cohort merges, mid-sweep worker kill, 429 carry-through, probe
+# revival), the worker-side cohort-part seam, the streaming-disconnect
+# pool drain, and the dvfsctl daemon smoke test.
+fleet-e2e:
+	$(GO) test -race -count 1 ./internal/fleet ./cmd/dvfsctl
+	$(GO) test -race -count 1 ./internal/server -run 'TestFleet|TestCohortPart|TestStream|TestRetryAfterSeconds'
 
 # Ten seconds of coverage-guided fuzzing per untrusted-input parser
 # (checked-in seeds live under */testdata/fuzz). Native fuzzing allows

@@ -1,0 +1,48 @@
+package videodvfs
+
+import (
+	"videodvfs/internal/cohort"
+	"videodvfs/internal/fleet"
+)
+
+// Fleet-tier aliases: one controller in front of N dvfsd workers,
+// sharding aggregate requests by content-addressed key and merging the
+// responses into the exact single-node answer. See NewFleet.
+type (
+	// Fleet is the controller service dvfsctl serves: POST /v1/sweep and
+	// POST /v1/cohort fan out across the configured dvfsd workers with
+	// consistent-hash routing, bounded concurrency, retry with jittered
+	// backoff, and failure ejection + rehash.
+	Fleet = fleet.Controller
+	// FleetConfig tunes one Fleet: worker URLs, concurrency bound,
+	// per-attempt timeout, retry/backoff/ejection policy, probe cadence.
+	FleetConfig = fleet.Config
+	// CohortPartial is the serialized aggregation state of a subset of a
+	// cohort's shards — the unit a Fleet dispatches to each worker.
+	CohortPartial = cohort.Partial
+)
+
+// NewFleet builds a Fleet over cfg.Workers (all initially alive) and
+// starts its health-probe loop; mount Handler on an http.Server and stop
+// with Shutdown.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// RunCohortShards executes only the named shards of a cohort and returns
+// their serialized aggregation states — the library form of dvfsd's
+// POST /v1/cohort/part. The shard layout is a pure function of the
+// config, so disjoint shard sets run on different machines and
+// MergeCohortParts reassembles the exact RunCohort result.
+func RunCohortShards(cfg CohortConfig, shards []int) (CohortPartial, error) {
+	return cohort.RunPart(cfg, shards)
+}
+
+// MergeCohortParts merges partial cohort runs covering every shard
+// exactly once into the whole-cohort result, bit-identical to a
+// single-node RunCohort of the same config.
+func MergeCohortParts(parts []CohortPartial) (CohortResult, error) {
+	return cohort.MergeParts(parts)
+}
+
+// CohortShardCount returns the shard count cfg's cohort resolves to —
+// the index space RunCohortShards partitions.
+func CohortShardCount(cfg CohortConfig) int { return cohort.ShardCount(cfg) }

@@ -104,6 +104,13 @@ type Config struct {
 	// Seed drives the cohort-level stochastic inputs: per-viewer
 	// background-load seeds and stochastic arrivals (0 = Base.Seed).
 	Seed int64
+	// Cancel, if non-nil, aborts the cohort when closed: Run checks it at
+	// every rollup barrier and fails with a wrapped
+	// experiments.ErrCanceled instead of stepping on to completion.
+	// dvfsd's streaming cohort endpoint wires the request context's Done
+	// channel here so an abandoned client frees its pool worker. Setting
+	// it makes the cohort uncacheable.
+	Cancel <-chan struct{}
 	// OnViewer, if set, receives each viewer's outcome as it finishes.
 	// res points at a per-shard scratch result that is REUSED for the
 	// next viewer — copy what you keep. Shards run on concurrent
@@ -144,6 +151,10 @@ func (c Config) Validate() error {
 	}
 	if c.Base.OnSample != nil || c.Base.Tracer != nil {
 		return fmt.Errorf("cohort: %w: per-viewer OnSample/Tracer not supported (aggregate via rollups)",
+			experiments.ErrInvalidConfig)
+	}
+	if c.Base.Cancel != nil {
+		return fmt.Errorf("cohort: %w: per-viewer Cancel not supported (set Config.Cancel for the whole cohort)",
 			experiments.ErrInvalidConfig)
 	}
 	if c.Viewers < 1 {
@@ -217,6 +228,13 @@ func (c Config) sectors() int {
 	}
 	return c.Cell.Sectors
 }
+
+// ShardCount returns the resolved number of shared engines the cohort
+// slices into — a pure function of the config, so a controller
+// partitioning shards across workers derives exactly the count every
+// worker will. (The distributed tier fans a cohort out shard by shard;
+// see RunPart.)
+func ShardCount(c Config) int { return c.shardCount() }
 
 // shardCount resolves the number of shared engines — a pure function of
 // the config, so results never depend on the machine. With a cell, a

@@ -14,7 +14,8 @@ import (
 // experiments.CanonicalConfig (DESIGN.md §9): the cohort-level lines
 // first, then the embedded base config's canonical bytes. The second
 // return is false when the cohort is uncacheable: callback-carrying
-// cohorts (OnViewer, OnRollup) observe state outside the config, and an
+// cohorts (OnViewer, OnRollup) and cancelable ones (Cancel) observe
+// state outside the config, and an
 // uncacheable base (Trace/OnSample/Tracer/Strict) stays uncacheable at
 // the cohort level for the same reasons it does per run.
 //
@@ -22,7 +23,7 @@ import (
 // seed, rollup period — so two spellings of the same effective cohort
 // share one identity.
 func Canonical(c Config) ([]byte, bool) {
-	if c.OnViewer != nil || c.OnRollup != nil {
+	if c.OnViewer != nil || c.OnRollup != nil || c.Cancel != nil {
 		return nil, false
 	}
 	base, ok := experiments.CanonicalConfig(c.Base)

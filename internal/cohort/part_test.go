@@ -1,0 +1,171 @@
+package cohort
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"videodvfs/internal/experiments"
+)
+
+// partCfg is a small multi-shard cohort for the distributed-seam tests.
+func partCfg() Config {
+	return Config{Base: shortBase(), Viewers: 36, Shards: 4, Seed: 5}
+}
+
+// The distributed seam's whole contract: running the shards in disjoint
+// subsets (here: three uneven parts), serializing the states through
+// JSON as a fleet would, and merging must reproduce the single-node
+// Result bit for bit — DeepEqual, not tolerances.
+func TestPartsMergeBitIdenticalToRun(t *testing.T) {
+	cfg := partCfg()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("whole run: %v", err)
+	}
+
+	var parts []Partial
+	for _, set := range [][]int{{2}, {0, 3}, {1}} {
+		p, err := RunPart(cfg, set)
+		if err != nil {
+			t.Fatalf("RunPart(%v): %v", set, err)
+		}
+		// Round-trip the partial through its wire form: the merge must
+		// survive JSON exactly (float64s encode shortest-form, bins are
+		// integers).
+		wire, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal partial: %v", err)
+		}
+		var back Partial
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatalf("unmarshal partial: %v", err)
+		}
+		parts = append(parts, back)
+	}
+
+	got, err := MergeParts(parts)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged parts differ from single-node run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// One part holding every shard is the degenerate single-worker fleet; it
+// must also merge to the exact Result.
+func TestSinglePartCoversWholeCohort(t *testing.T) {
+	cfg := partCfg()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := RunPart(cfg, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MergeParts([]Partial{p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("single-part merge differs from run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRunPartRejects(t *testing.T) {
+	cfg := partCfg()
+	cases := map[string]struct {
+		mutate func(*Config)
+		shards []int
+	}{
+		"empty set":     {nil, nil},
+		"out of range":  {nil, []int{0, 4}},
+		"negative":      {nil, []int{-1}},
+		"duplicate":     {nil, []int{1, 1}},
+		"rollup cb":     {func(c *Config) { c.OnRollup = func(Rollup) {} }, []int{0}},
+		"invalid base ": {func(c *Config) { c.Viewers = 0 }, []int{0}},
+	}
+	for name, tc := range cases {
+		c := cfg
+		if tc.mutate != nil {
+			tc.mutate(&c)
+		}
+		if _, err := RunPart(c, tc.shards); err == nil {
+			t.Errorf("%s: RunPart accepted", name)
+		}
+	}
+}
+
+func TestMergePartsRejects(t *testing.T) {
+	cfg := partCfg()
+	p01, err := RunPart(cfg, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p23, err := RunPart(cfg, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := MergeParts(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := MergeParts([]Partial{p01}); err == nil {
+		t.Error("missing shards accepted")
+	}
+	if _, err := MergeParts([]Partial{p01, p01, p23}); err == nil {
+		t.Error("duplicate shard coverage accepted")
+	}
+	other := p23
+	other.Viewers++
+	if _, err := MergeParts([]Partial{p01, other}); err == nil {
+		t.Error("mismatched layouts accepted")
+	}
+	corrupt := p23
+	corrupt.States = append([]ShardState(nil), p23.States...)
+	corrupt.States[0].Shard = 99
+	if _, err := MergeParts([]Partial{p01, corrupt}); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+}
+
+// A pre-closed cancel channel aborts both whole runs and parts at the
+// first rollup barrier with the typed error.
+func TestCohortCancel(t *testing.T) {
+	cfg := partCfg()
+	ch := make(chan struct{})
+	close(ch)
+	cfg.Cancel = ch
+	if _, err := Run(cfg); !errors.Is(err, experiments.ErrCanceled) {
+		t.Fatalf("Run err = %v, want ErrCanceled", err)
+	}
+	if _, err := RunPart(cfg, []int{0}); !errors.Is(err, experiments.ErrCanceled) {
+		t.Fatalf("RunPart err = %v, want ErrCanceled", err)
+	}
+	// Cancelable cohorts must never be cache-served.
+	if _, ok := Key(cfg); ok {
+		t.Fatal("cancelable cohort reported cacheable")
+	}
+}
+
+// An armed-but-unfired cancel channel must not perturb the cohort
+// result.
+func TestCohortCancelUnfiredIsIdentical(t *testing.T) {
+	cfg := partCfg()
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := cfg
+	armed.Cancel = make(chan struct{})
+	got, err := Run(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("armed-cancel cohort differs:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,10 +1,12 @@
 package cohort
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"videodvfs/internal/experiments"
 	"videodvfs/internal/sim"
 )
 
@@ -45,6 +47,9 @@ func Run(cfg Config) (Result, error) {
 
 	for t := step; ; t += step {
 		stepAll(shards, t, workers)
+		if err := canceled(cfg); err != nil {
+			return Result{}, err
+		}
 		if cfg.OnRollup != nil {
 			cfg.OnRollup(snapshotRollup(t, shards))
 		}
@@ -53,6 +58,21 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 	return buildResult(cfg, nShards, shards), nil
+}
+
+// canceled reports whether the cohort's cancel channel has closed,
+// wrapping experiments.ErrCanceled so callers branch on it exactly like a
+// canceled single run.
+func canceled(cfg Config) error {
+	if cfg.Cancel == nil {
+		return nil
+	}
+	select {
+	case <-cfg.Cancel:
+		return fmt.Errorf("cohort: %w", experiments.ErrCanceled)
+	default:
+		return nil
+	}
 }
 
 // stepAll advances every unfinished shard to the barrier t, fanning the

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"videodvfs/internal/sim"
+)
+
+// A pre-closed cancel channel must abort the run almost immediately
+// (within the first poll tick) with the typed error.
+func TestRunCancelPreClosed(t *testing.T) {
+	ch := make(chan struct{})
+	close(ch)
+	cfg := DefaultRunConfig()
+	cfg.Cancel = ch
+	_, err := Run(cfg)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// An armed-but-never-fired cancel channel must not perturb the result:
+// the poll ticker is passive, so the run is bit-identical to an
+// uncancelable one. This is the invariant that lets dvfsd wire every
+// streaming request's context in unconditionally.
+func TestRunCancelUnfiredIsIdentical(t *testing.T) {
+	base := DefaultRunConfig()
+	base.Duration = 20 * sim.Second
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := base
+	armed.Cancel = make(chan struct{})
+	got, err := Run(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("armed-cancel result differs from plain run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// Cancelable configs observe state outside the config, so they must
+// never be cache-served.
+func TestCancelUncacheable(t *testing.T) {
+	cfg := DefaultRunConfig()
+	cfg.Cancel = make(chan struct{})
+	if _, ok := ConfigKey(cfg); ok {
+		t.Fatal("cancelable config reported cacheable")
+	}
+}

@@ -30,12 +30,13 @@ import (
 //
 // The second return is false when the config is uncacheable: a frame
 // Trace (content not worth hashing frame-by-frame), an OnSample callback,
-// or a Tracer make the run's observable behavior depend on state outside
-// the config. Strict runs are also uncacheable by design: the point of
-// ?strict=1 is to re-execute and re-audit the simulation — a cache hit
-// would return a result no checker ever rode along on (DESIGN.md §10).
+// a Tracer, or a Cancel channel make the run's observable behavior depend
+// on state outside the config. Strict runs are also uncacheable by
+// design: the point of ?strict=1 is to re-execute and re-audit the
+// simulation — a cache hit would return a result no checker ever rode
+// along on (DESIGN.md §10).
 func CanonicalConfig(cfg RunConfig) ([]byte, bool) {
-	if cfg.Trace != nil || cfg.OnSample != nil || cfg.Tracer != nil || cfg.Strict {
+	if cfg.Trace != nil || cfg.OnSample != nil || cfg.Tracer != nil || cfg.Strict || cfg.Cancel != nil {
 		return nil, false
 	}
 	b := make([]byte, 0, 512)

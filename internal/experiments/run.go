@@ -110,6 +110,13 @@ type RunConfig struct {
 	// virtual time: CPU frequency, CPU power, media buffer level. Used by
 	// dvfsim's -timeline output for plotting.
 	OnSample func(t sim.Time, freqGHz, cpuW, bufferSec float64)
+	// Cancel, if non-nil, aborts the run when closed: the engine polls it
+	// every 100 virtual ms and a closed channel fails the run with
+	// ErrCanceled instead of simulating on to the horizon. dvfsd's
+	// streaming endpoints wire a request context's Done channel here so an
+	// abandoned client stops burning a pool worker. Cancel-armed configs
+	// are uncacheable (the outcome depends on state outside the config).
+	Cancel <-chan struct{}
 	// Tracer, if set, receives the run's structured event stream: governor
 	// decisions, frame lifecycle, OPP and C-state transitions, RRC state
 	// changes, ABR switches, buffer levels, and per-component power. nil
@@ -445,6 +452,12 @@ func buildRenditions(cfg RunConfig) ([]*video.Stream, abr.Algorithm, error) {
 		return streams, algo, nil
 	}
 }
+
+// ErrCanceled reports a run aborted because its RunConfig.Cancel channel
+// closed mid-simulation — the caller (typically a streaming HTTP handler
+// whose client disconnected) no longer wants the result. Callers
+// distinguish it with errors.Is.
+var ErrCanceled = errors.New("run canceled")
 
 // ErrHorizonExceeded reports that a session was still incomplete when the
 // simulation horizon (RunConfig.Horizon, default Duration*6 + 60 s) cut

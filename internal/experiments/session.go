@@ -54,8 +54,9 @@ type Session struct {
 	radioPowerFn func(now sim.Time, watts float64)
 	stopFn       func()
 
-	bgActive bool
-	probe    *sim.Ticker
+	bgActive   bool
+	probe      *sim.Ticker
+	cancelTick *sim.Ticker
 
 	// Arena-local memos for the package caches: sync.Map lookups box
 	// their struct keys (an allocation per call), so same-config reruns
@@ -86,6 +87,7 @@ type runState struct {
 	thermal    *cpu.Thermal
 	horizon    sim.Time
 	armed      bool
+	canceled   bool
 }
 
 // NewSession returns an empty arena. The simulator parts are built on the
@@ -102,6 +104,9 @@ func NewSession() *Session {
 		}
 		if s.probe != nil {
 			s.probe.Stop()
+		}
+		if s.cancelTick != nil {
+			s.cancelTick.Stop()
 		}
 		s.eng.Stop()
 	}
@@ -201,6 +206,7 @@ func (s *Session) Reset(cfg RunConfig) (err error) {
 	s.eng.Reset()
 	s.meter.Reset()
 	s.probe = nil
+	s.cancelTick = nil
 	s.bgActive = false
 
 	if s.core == nil {
@@ -332,6 +338,21 @@ func (s *Session) Reset(cfg RunConfig) (err error) {
 			onSample(now, s.core.FreqHz()/1e9, s.core.Power(), s.ps.BufferSec())
 		})
 	}
+	if cfg.Cancel != nil {
+		// Poll the cancel channel at OnSample cadence: virtual time only
+		// advances while the simulation is computing, so an abandoned run
+		// observes the closed channel within one event batch of wall time
+		// and stops instead of simulating on to the horizon.
+		cancel := cfg.Cancel
+		s.cancelTick = sim.NewTicker(s.eng, 100*sim.Millisecond, func(now sim.Time) {
+			select {
+			case <-cancel:
+				s.run.canceled = true
+				s.eng.Stop()
+			default:
+			}
+		})
+	}
 	s.ps.OnDone(s.stopFn)
 
 	s.run.horizon = cfg.Duration*6 + 60*sim.Second
@@ -366,6 +387,9 @@ func (s *Session) Finish(res *RunResult) error {
 		}
 	}
 
+	if s.run.canceled {
+		return fmt.Errorf("experiments: %w at %v", ErrCanceled, s.eng.Now())
+	}
 	if err := s.ps.Err(); err != nil {
 		return fmt.Errorf("experiments: session: %w", err)
 	}

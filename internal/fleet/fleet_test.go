@@ -1,0 +1,399 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"videodvfs/internal/cohort"
+	"videodvfs/internal/experiments"
+	"videodvfs/internal/server"
+)
+
+// ---- ring ----
+
+// The ring must spread keys over every worker and, on an ejection, move
+// only the ejected worker's keys — the cache-affinity property the whole
+// design rests on.
+func TestRingSpreadAndMinimalDisruption(t *testing.T) {
+	labels := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := newRing(labels, 64)
+	allAlive := func(int) bool { return true }
+
+	counts := make([]int, len(labels))
+	owner := make(map[string]int, 10000)
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		wi, ok := r.pick(key, allAlive)
+		if !ok {
+			t.Fatal("pick failed with all workers alive")
+		}
+		counts[wi]++
+		owner[key] = wi
+	}
+	for wi, n := range counts {
+		if n < 1500 {
+			t.Errorf("worker %d owns only %d/10000 keys — ring is badly skewed", wi, n)
+		}
+	}
+
+	// Eject worker 1: its keys must move, everyone else's must not.
+	withoutB := func(i int) bool { return i != 1 }
+	for key, prev := range owner {
+		wi, ok := r.pick(key, withoutB)
+		if !ok {
+			t.Fatal("pick failed with two workers alive")
+		}
+		if prev != 1 && wi != prev {
+			t.Fatalf("key %q moved from %d to %d though its owner is alive", key, prev, wi)
+		}
+		if prev == 1 && wi == 1 {
+			t.Fatalf("key %q still routes to the ejected worker", key)
+		}
+	}
+
+	if _, ok := r.pick("anything", func(int) bool { return false }); ok {
+		t.Fatal("pick succeeded with no alive workers")
+	}
+}
+
+// ---- e2e harness ----
+
+// slowRunner wraps the real simulator with a small fixed wall-time delay
+// so a sweep stays in flight long enough to kill a worker under it.
+func slowRunner(d time.Duration) func(experiments.RunConfig) (experiments.RunResult, error) {
+	return func(cfg experiments.RunConfig) (experiments.RunResult, error) {
+		time.Sleep(d)
+		return experiments.Run(cfg)
+	}
+}
+
+// testFleet boots n real dvfsd workers plus a controller over them and
+// returns the controller's base URL, the worker httptest servers (for
+// killing), and the single-node reference dvfsd every merged answer is
+// compared against.
+func testFleet(t *testing.T, n int, workerCfg server.Config, fcfg Config) (string, []*httptest.Server, string) {
+	t.Helper()
+	var urls []string
+	var wts []*httptest.Server
+	for i := 0; i < n; i++ {
+		s := server.New(workerCfg)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Shutdown(ctx)
+		})
+		urls = append(urls, ts.URL)
+		wts = append(wts, ts)
+	}
+
+	ref := server.New(server.Config{})
+	refTS := httptest.NewServer(ref.Handler())
+	t.Cleanup(func() {
+		refTS.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		ref.Shutdown(ctx)
+	})
+
+	fcfg.Workers = urls
+	ctl, err := New(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(ctl.Handler())
+	t.Cleanup(func() {
+		cts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		ctl.Shutdown(ctx)
+	})
+	return cts.URL, wts, refTS.URL
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+const sweepReq = `{"base": {"duration_s": 6}, "governors": ["ondemand", "energyaware"], "seeds": [1, 2, 3, 4]}`
+
+// A fleet-merged sweep must be byte-identical to a single node's: same
+// expansion order, same per-point run bodies, same envelope.
+func TestFleetSweepMatchesSingleNode(t *testing.T) {
+	ctlURL, _, refURL := testFleet(t, 3, server.Config{}, Config{
+		Retries: 2, Backoff: 5 * time.Millisecond, ProbeInterval: time.Hour,
+	})
+
+	resp, fleetBody := post(t, ctlURL+"/v1/sweep", sweepReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet sweep status %d: %s", resp.StatusCode, fleetBody)
+	}
+	refResp, refBody := post(t, refURL+"/v1/sweep", sweepReq)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("ref sweep status %d: %s", refResp.StatusCode, refBody)
+	}
+	if !bytes.Equal(fleetBody, refBody) {
+		t.Fatalf("fleet sweep differs from single node:\nfleet: %s\nref:   %s", fleetBody, refBody)
+	}
+
+	// The routing is cache-affine: a repeat sweep is all hits, visible in
+	// the controller's rollup.
+	if _, again := post(t, ctlURL+"/v1/sweep", sweepReq); !bytes.Equal(again, refBody) {
+		t.Fatal("repeat fleet sweep drifted")
+	}
+	_, met := getBody(t, ctlURL+"/metrics")
+	if !strings.Contains(string(met), "dvfsctl_worker_cache_hits_total") {
+		t.Fatalf("metrics missing per-worker cache counters:\n%s", met)
+	}
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, raw
+}
+
+// Killing a worker mid-sweep must not change the answer: the controller
+// ejects it, rehashes its in-flight points onto the survivors, and the
+// merged response still matches the single-node bytes.
+func TestFleetSweepSurvivesWorkerKill(t *testing.T) {
+	ctlURL, workers, refURL := testFleet(t, 3,
+		server.Config{Runner: slowRunner(60 * time.Millisecond), Workers: 2},
+		Config{Retries: 3, Backoff: 5 * time.Millisecond, EjectAfter: 1, ProbeInterval: time.Hour})
+
+	// Kill one worker while the sweep's first wave is still sleeping in
+	// the scripted runner.
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(25 * time.Millisecond)
+		workers[0].CloseClientConnections()
+		workers[0].Close()
+		close(killed)
+	}()
+
+	resp, fleetBody := post(t, ctlURL+"/v1/sweep", sweepReq)
+	<-killed
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet sweep status %d after kill: %s", resp.StatusCode, fleetBody)
+	}
+	refResp, refBody := post(t, refURL+"/v1/sweep", sweepReq)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("ref sweep status %d: %s", refResp.StatusCode, refBody)
+	}
+	if !bytes.Equal(fleetBody, refBody) {
+		t.Fatalf("post-kill fleet sweep differs from single node:\nfleet: %s\nref:   %s", fleetBody, refBody)
+	}
+
+	// The dead worker must be gone from routing.
+	_, met := getBody(t, ctlURL+"/metrics")
+	if !strings.Contains(string(met), fmt.Sprintf("dvfsctl_worker_up{worker=%q} 0", workers[0].URL)) {
+		t.Fatalf("killed worker still marked up:\n%s", met)
+	}
+}
+
+const cohortReq = `{"base": {"duration_s": 6}, "viewers": 24, "shards": 6, "rollup_s": 5, "seed": 7}`
+
+// summaryOf parses the last NDJSON line of a cohort response.
+func summaryOf(t *testing.T, raw []byte) (string, cohort.Result) {
+	t.Helper()
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	var frame struct {
+		Ev     string        `json:"ev"`
+		Key    string        `json:"key"`
+		Result cohort.Result `json:"result"`
+	}
+	if err := json.Unmarshal(lines[len(lines)-1], &frame); err != nil || frame.Ev != "summary" {
+		t.Fatalf("no summary line: %v\n%s", err, raw)
+	}
+	return frame.Key, frame.Result
+}
+
+// A fleet-sharded cohort must merge to the exact single-node summary —
+// with all workers healthy, and again with one worker already dead (its
+// shards rehash onto the survivors via ejection).
+func TestFleetCohortMatchesSingleNode(t *testing.T) {
+	ctlURL, workers, refURL := testFleet(t, 3, server.Config{}, Config{
+		Retries: 2, Backoff: 5 * time.Millisecond, EjectAfter: 1, ProbeInterval: time.Hour,
+	})
+
+	refResp, refBody := post(t, refURL+"/v1/cohort", cohortReq)
+	if refResp.StatusCode != http.StatusOK {
+		t.Fatalf("ref cohort status %d: %s", refResp.StatusCode, refBody)
+	}
+	refKey, refResult := summaryOf(t, refBody)
+
+	resp, fleetBody := post(t, ctlURL+"/v1/cohort", cohortReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet cohort status %d: %s", resp.StatusCode, fleetBody)
+	}
+	key, result := summaryOf(t, fleetBody)
+	if key != refKey {
+		t.Fatalf("fleet cohort key %s, want %s", key, refKey)
+	}
+	if !reflect.DeepEqual(result, refResult) {
+		t.Fatalf("fleet cohort differs from single node:\nfleet: %+v\nref:   %+v", result, refResult)
+	}
+
+	// Kill a worker, then run again: its shards must rehash and the
+	// merged result must not change.
+	workers[1].CloseClientConnections()
+	workers[1].Close()
+	resp, fleetBody = post(t, ctlURL+"/v1/cohort", cohortReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet cohort status %d after kill: %s", resp.StatusCode, fleetBody)
+	}
+	if _, result = summaryOf(t, fleetBody); !reflect.DeepEqual(result, refResult) {
+		t.Fatalf("post-kill fleet cohort differs:\nfleet: %+v\nref:   %+v", result, refResult)
+	}
+}
+
+// A worker answering 429 is load, not death: after the retry budget the
+// controller passes the 429 through with the worker's Retry-After hint
+// clamped to ≥ 1 — even when the worker (degenerately) says 0.
+func TestFleet429CarryThroughClamped(t *testing.T) {
+	var hits atomic.Int64
+	busy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0") // degenerate hint
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		io.WriteString(w, `{"error":{"code":"overloaded","message":"queue full"}}`)
+	}))
+	t.Cleanup(busy.Close)
+
+	ctl, err := New(Config{
+		Workers: []string{busy.URL}, Retries: 1,
+		Backoff: time.Millisecond, ProbeInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(ctl.Handler())
+	t.Cleanup(func() {
+		cts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		ctl.Shutdown(ctx)
+	})
+
+	resp, raw := post(t, cts.URL+"/v1/sweep", `{"base": {"duration_s": 6}, "seeds": [1, 2]}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, raw)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want clamped ≥ 1", ra)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code != "overloaded" {
+		t.Fatalf("envelope = %s", raw)
+	}
+	if got := hits.Load(); got < 4 { // 2 points × (1 try + 1 retry)
+		t.Fatalf("worker saw %d attempts, want ≥4 (retry budget not honored)", got)
+	}
+}
+
+// With every worker dead the controller must answer 503/no_workers, and
+// a revived worker must come back via the health probe.
+func TestFleetNoWorkersAndRevival(t *testing.T) {
+	s := server.New(server.Config{})
+	var down atomic.Bool
+	gate := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		gate.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+
+	ctl, err := New(Config{
+		Workers: []string{gate.URL}, Retries: 0,
+		Backoff: time.Millisecond, EjectAfter: 1, ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cts := httptest.NewServer(ctl.Handler())
+	t.Cleanup(func() {
+		cts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		ctl.Shutdown(ctx)
+	})
+
+	down.Store(true)
+	resp, raw := post(t, cts.URL+"/v1/cohort", cohortReq)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with all workers dead, want 503: %s", resp.StatusCode, raw)
+	}
+	var env struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &env); err != nil || env.Error.Code != CodeNoWorkers {
+		t.Fatalf("envelope = %s, want code %q", raw, CodeNoWorkers)
+	}
+	if hresp, _ := getBody(t, cts.URL+"/healthz"); hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz = %d with no alive workers, want 503", hresp.StatusCode)
+	}
+
+	// Revive: the probe loop must bring the worker back without traffic.
+	down.Store(false)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if hresp, _ := getBody(t, cts.URL+"/healthz"); hresp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never revived via health probe")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if resp, raw := post(t, cts.URL+"/v1/cohort", cohortReq); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cohort after revival: status %d: %s", resp.StatusCode, raw)
+	}
+}

@@ -1,0 +1,56 @@
+package fleet
+
+import "sync/atomic"
+
+// worker is the controller's view of one dvfsd backend: its base URL
+// plus liveness and per-worker counters. All fields are atomics — the
+// dispatch paths, the probe loop, and /metrics read and write them
+// concurrently.
+type worker struct {
+	url string
+
+	// alive gates routing: the ring skips dead workers. Flips false after
+	// EjectAfter consecutive failures, true again on a successful probe
+	// or dispatch.
+	alive atomic.Bool
+	// consecFails counts failures since the last success.
+	consecFails atomic.Int64
+
+	// queueDepth mirrors the worker's last reported X-Dvfsd-Queue-Depth.
+	queueDepth atomic.Int64
+
+	dispatches atomic.Int64 // requests sent (attempts, not logical dispatches)
+	retries    atomic.Int64 // attempts beyond the first
+	failures   atomic.Int64 // transport errors + 5xx responses
+	ejections  atomic.Int64 // alive→dead transitions
+	hits       atomic.Int64 // responses with X-Dvfsd-Cache: hit
+	misses     atomic.Int64 // responses with X-Dvfsd-Cache: miss or coalesced
+}
+
+// ok records a successful exchange: the failure streak resets and a dead
+// worker revives.
+func (w *worker) ok() {
+	w.consecFails.Store(0)
+	w.alive.Store(true)
+}
+
+// fail records one failed exchange and ejects the worker once the streak
+// reaches ejectAfter. Returns true when this call performed the
+// ejection.
+func (w *worker) fail(ejectAfter int64) bool {
+	w.failures.Add(1)
+	if w.consecFails.Add(1) >= ejectAfter && w.alive.CompareAndSwap(true, false) {
+		w.ejections.Add(1)
+		return true
+	}
+	return false
+}
+
+// hitRatio is hits / (hits + misses), 0 before any cacheable response.
+func (w *worker) hitRatio() float64 {
+	h, m := w.hits.Load(), w.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

@@ -373,6 +373,26 @@ func (r CohortRequest) Config() (cohort.Config, error) {
 	return cfg, nil
 }
 
+// CohortPartRequest is the wire form of a partial cohort run: the whole
+// cohort's spec plus the shard indexes this worker should execute. The
+// cohort spec must be complete — the shard layout is derived from it, so
+// every worker in a fleet-sharded cohort receives the same spec and a
+// disjoint shard set. (The cohort nests under its own key rather than
+// embedding, because CohortRequest's shards field — the shard-count
+// override — must stay addressable.)
+type CohortPartRequest struct {
+	// Cohort is the whole cohort's request, exactly as a /v1/cohort body.
+	Cohort CohortRequest `json:"cohort"`
+	// Shards names the shard indexes to execute (non-empty, each in
+	// [0, shard count)).
+	Shards []int `json:"shards"`
+}
+
+// Config resolves the embedded cohort request (see CohortRequest.Config).
+func (r CohortPartRequest) Config() (cohort.Config, error) {
+	return r.Cohort.Config()
+}
+
 // decodeStrict unmarshals exactly one JSON value from r into v, rejecting
 // unknown fields and trailing non-whitespace. Errors wrap ErrBadRequest.
 func decodeStrict(r io.Reader, v any) error {
@@ -407,6 +427,14 @@ func DecodeSweepRequest(r io.Reader) (SweepRequest, error) {
 // strict rules as DecodeRunRequest.
 func DecodeCohortRequest(r io.Reader) (CohortRequest, error) {
 	var req CohortRequest
+	err := decodeStrict(r, &req)
+	return req, err
+}
+
+// DecodeCohortPartRequest parses one CohortPartRequest from r under the
+// same strict rules as DecodeRunRequest.
+func DecodeCohortPartRequest(r io.Reader) (CohortPartRequest, error) {
+	var req CohortPartRequest
 	err := decodeStrict(r, &req)
 	return req, err
 }

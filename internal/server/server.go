@@ -23,8 +23,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -126,6 +129,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/cohort", s.handleCohort)
+	mux.HandleFunc("POST /v1/cohort/part", s.handleCohortPart)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperimentList)
 	mux.HandleFunc("POST /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
@@ -254,15 +258,39 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 // run latency. Always at least 1.
 func (s *Server) retryAfter() string {
 	p50, _ := s.met.runQuantiles()
-	if p50 <= 0 {
+	return fmt.Sprintf("%d", retryAfterSeconds(
+		s.pool.QueueDepth()+s.pool.Active(), s.pool.Workers(), p50))
+}
+
+// loadHeaders stamps the worker's instantaneous load onto a response so
+// a fleet controller observes backpressure from the traffic it already
+// sends instead of polling /metrics.
+func (s *Server) loadHeaders(w http.ResponseWriter) {
+	w.Header().Set("X-Dvfsd-Queue-Depth", strconv.Itoa(s.pool.QueueDepth()))
+}
+
+// retryAfterSeconds is the Retry-After estimate as a pure function, so
+// the clamp is testable in isolation. The backlog snapshot races the
+// rejection that triggered it — the queue may have drained (backlog 0,
+// estimate 0) or the underflow-guarded depth may read negative — and an
+// RFC 7231 Retry-After must be a non-negative integer, with 0 telling the
+// client to hammer immediately. Every degenerate input therefore clamps
+// to ≥ 1 second.
+func retryAfterSeconds(backlog, workers int, p50 float64) int {
+	if p50 <= 0 || math.IsNaN(p50) || math.IsInf(p50, 0) {
 		p50 = 1
 	}
-	backlog := float64(s.pool.QueueDepth() + s.pool.Active())
-	est := math.Ceil(backlog * p50 / float64(s.pool.Workers()))
-	if est < 1 {
-		est = 1
+	if workers < 1 {
+		workers = 1
 	}
-	return fmt.Sprintf("%.0f", est)
+	est := math.Ceil(float64(backlog) * p50 / float64(workers))
+	if !(est >= 1) { // catches 0, negatives, and NaN in one comparison
+		return 1
+	}
+	if est > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(est)
 }
 
 // ---- run execution ----
@@ -407,7 +435,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	switch mode := r.URL.Query().Get("trace"); mode {
 	case "":
 	case "jsonl":
-		s.handleRunTraced(w, cfg)
+		s.handleRunTraced(w, r, cfg)
 		return
 	default:
 		s.writeError(w, fmt.Errorf("%w: unknown trace mode %q (jsonl)", ErrBadRequest, mode))
@@ -418,21 +446,54 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	s.loadHeaders(w)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Dvfsd-Cache", string(outcome))
 	w.Write(body)
 }
 
+// flushWriter forwards writes and flushes after each one when the
+// underlying ResponseWriter supports it. Streaming handlers must not
+// assume the Flusher interface: a non-flushing middleware wrapper (or a
+// buffering test recorder) yields fl == nil, and the stream degrades to
+// buffered writes instead of panicking.
+type flushWriter struct {
+	w  io.Writer
+	fl http.Flusher
+}
+
+// newFlushWriter wraps w, flushing per write when w is an http.Flusher.
+func newFlushWriter(w http.ResponseWriter) flushWriter {
+	fl, _ := w.(http.Flusher)
+	return flushWriter{w: w, fl: fl}
+}
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if f.fl != nil {
+		f.fl.Flush()
+	}
+	return n, err
+}
+
 // handleRunTraced streams the run's structured event trace as JSONL,
 // closing with one "result" line. Traced runs bypass the cache (the
 // response is a stream, not a body worth pinning) but still pass
-// admission control.
-func (s *Server) handleRunTraced(w http.ResponseWriter, cfg experiments.RunConfig) {
+// admission control. The client's disconnect cancels the simulation: an
+// abandoned stream frees its pool worker within one event batch instead
+// of simulating on to the horizon.
+func (s *Server) handleRunTraced(w http.ResponseWriter, r *http.Request, cfg experiments.RunConfig) {
+	s.loadHeaders(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Dvfsd-Cache", string(cacheBypass))
-	sink := trace.NewJSONL(w)
+	sink := trace.NewJSONL(newFlushWriter(w))
 	cfg.Tracer = sink
+	cfg.Cancel = r.Context().Done()
 	res, err := s.execute(cfg)
+	if errors.Is(err, experiments.ErrCanceled) {
+		sink.Close()
+		return // client went away; nobody is reading
+	}
 	if cerr := sink.Close(); cerr != nil && err == nil {
 		return // client went away mid-stream; nothing left to say
 	}
@@ -537,6 +598,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 	wg.Wait()
+	s.loadHeaders(w)
 	writeJSON(w, http.StatusOK, sweepBody{Count: len(outcomes), Outcomes: outcomes})
 }
 
@@ -634,7 +696,7 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 	}
 	key, cacheable := cohort.Key(cfg)
 	if stream {
-		s.handleCohortStream(w, key, cfg)
+		s.handleCohortStream(w, r, key, cfg)
 		return
 	}
 	compute := func() ([]byte, error) {
@@ -664,30 +726,36 @@ func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	s.loadHeaders(w)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Dvfsd-Cache", string(outcome))
 	w.Write(body)
 }
 
 // handleCohortStream is the live-streaming variant: frames go out as
-// their barriers complete. Failures after the first frame surface
-// in-band as a final envelope line, like traced runs.
-func (s *Server) handleCohortStream(w http.ResponseWriter, key string, cfg cohort.Config) {
-	fl, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+// their barriers complete, through a guarded flusher (a non-flushing
+// middleware wrapper degrades to buffered writes rather than panicking).
+// Failures after the first frame surface in-band as a final envelope
+// line, like traced runs. The client's disconnect cancels the cohort at
+// its next rollup barrier, so an abandoned stream stops burning the pool.
+func (s *Server) handleCohortStream(w http.ResponseWriter, r *http.Request, key string, cfg cohort.Config) {
+	fw := newFlushWriter(w)
+	enc := json.NewEncoder(fw)
 	wrote := false
 	cfg.OnRollup = func(ru cohort.Rollup) {
 		if !wrote {
+			s.loadHeaders(w)
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.Header().Set("X-Dvfsd-Cache", string(cacheBypass))
 			wrote = true
 		}
 		enc.Encode(cohortRollupFrame{Ev: "rollup", Rollup: ru})
-		if fl != nil {
-			fl.Flush()
-		}
 	}
+	cfg.Cancel = r.Context().Done()
 	res, err := s.executeCohort(cfg)
+	if errors.Is(err, experiments.ErrCanceled) {
+		return // client went away; nobody is reading
+	}
 	if err != nil {
 		if !wrote {
 			s.writeError(w, err) // nothing sent yet: a proper status is still possible
@@ -700,10 +768,125 @@ func (s *Server) handleCohortStream(w http.ResponseWriter, key string, cfg cohor
 		return
 	}
 	if !wrote {
+		s.loadHeaders(w)
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		w.Header().Set("X-Dvfsd-Cache", string(cacheBypass))
 	}
 	enc.Encode(cohortSummaryFrame{Ev: "summary", Key: key, Result: res})
+}
+
+// ---- cohort part endpoint (the fleet's worker-side seam) ----
+
+// cohortPartBody is the response of one partial cohort run: the cohort's
+// content-addressed key (empty when uncacheable) plus the executed
+// shards' serialized aggregation states.
+type cohortPartBody struct {
+	Key     string         `json:"key,omitempty"`
+	Partial cohort.Partial `json:"partial"`
+}
+
+// executeCohortPart runs a shard subset through the admission-controlled
+// pool as one task, exactly like executeCohort.
+func (s *Server) executeCohortPart(cfg cohort.Config, shards []int) (cohort.Partial, error) {
+	type outcome struct {
+		res cohort.Partial
+		err error
+	}
+	ch := make(chan outcome, 1)
+	seq := int(s.runSeq.Add(1))
+	task := func() {
+		t0 := time.Now()
+		var res cohort.Partial
+		err := campaign.Protect(seq, func() error {
+			var rerr error
+			res, rerr = cohort.RunPart(cfg, shards)
+			return rerr
+		})
+		s.met.observeRun(time.Since(t0), err)
+		ch <- outcome{res, err}
+	}
+	if !s.pool.TrySubmit(task) {
+		return cohort.Partial{}, ErrOverloaded
+	}
+	out := <-ch
+	return out.res, out.err
+}
+
+// handleCohortPart executes only the named shards of a cohort and
+// answers with their serialized aggregation states — the worker side of
+// a fleet-sharded cohort (DESIGN.md §13). The shard layout is a pure
+// function of the cohort config, so a controller can fan disjoint shard
+// sets across workers and MergeParts the responses into a Result
+// bit-identical to a single-node run. Parts are cached per (cohort key,
+// shard set): re-dispatch after a controller retry or worker restart is
+// a cache hit.
+func (s *Server) handleCohortPart(w http.ResponseWriter, r *http.Request) {
+	s.met.request("cohort-part")
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errBody(CodeDraining, "server draining, not admitting new work"))
+		return
+	}
+	req, err := DecodeCohortPartRequest(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if cfg.Viewers > s.cfg.MaxCohortViewers {
+		s.writeError(w, fmt.Errorf("server: %w: cohort of %d viewers exceeds the service cap %d",
+			experiments.ErrInvalidConfig, cfg.Viewers, s.cfg.MaxCohortViewers))
+		return
+	}
+	if err := s.prepare(&cfg.Base); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key, cacheable := cohort.Key(cfg)
+	compute := func() ([]byte, error) {
+		res, err := s.executeCohortPart(cfg, req.Shards)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(cohortPartBody{Key: key, Partial: res})
+	}
+	var body []byte
+	outcome := cacheBypass
+	if cacheable {
+		body, outcome, err = s.cache.Do("cohortpart/"+key+"/"+shardSetKey(req.Shards), compute)
+	} else {
+		body, err = compute()
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.loadHeaders(w)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Dvfsd-Cache", string(outcome))
+	w.Write(body)
+}
+
+// shardSetKey renders a shard set as a canonical cache-key suffix
+// (sorted, deduplicated, comma-joined) so two spellings of the same set
+// share one cached part.
+func shardSetKey(shards []int) string {
+	set := append([]int(nil), shards...)
+	sort.Ints(set)
+	var b strings.Builder
+	for i, idx := range set {
+		if i > 0 && set[i-1] == idx {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+	}
+	return b.String()
 }
 
 // experimentBody is the cached response of one named experiment.

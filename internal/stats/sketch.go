@@ -1,10 +1,17 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ErrSketchAccuracyMismatch reports a Merge between sketches built with
+// different relative accuracies (different gamma): their bins are not
+// compatible, and folding one into the other would silently corrupt every
+// later quantile. Distinguish it with errors.Is.
+var ErrSketchAccuracyMismatch = errors.New("stats: sketch accuracy (alpha) mismatch")
 
 // Sketch is a mergeable streaming quantile sketch over non-negative
 // observations, in the DDSketch family: values map to logarithmic bins
@@ -191,7 +198,7 @@ func (s *Sketch) Merge(other *Sketch) error {
 		return nil
 	}
 	if other.gamma != s.gamma {
-		return fmt.Errorf("stats: merging sketches with different accuracy (gamma %v vs %v)", s.gamma, other.gamma)
+		return fmt.Errorf("%w: gamma %v vs %v", ErrSketchAccuracyMismatch, s.gamma, other.gamma)
 	}
 	for k, c := range other.bins {
 		s.bins[k] += c
@@ -206,4 +213,93 @@ func (s *Sketch) Merge(other *Sketch) error {
 		s.max = other.max
 	}
 	return nil
+}
+
+// SketchState is a Sketch's complete serializable state, the wire form a
+// distributed tier ships per-shard sketches in. Gamma is carried verbatim
+// (not alpha) so a reconstructed sketch is bit-identical to the original:
+// re-deriving gamma from a rounded alpha could flip its last bit and make
+// exact same-accuracy Merges fail. Bin counts are integers and the float
+// fields round-trip exactly through JSON (shortest-form encoding), so
+// State → SketchFromState → Merge reproduces a local merge bit for bit.
+type SketchState struct {
+	// Gamma is the bin ratio (1+alpha)/(1-alpha).
+	Gamma float64 `json:"gamma"`
+	// Bins maps bin index to observation count.
+	Bins map[int]uint64 `json:"bins,omitempty"`
+	// Zero counts observations in the zero bucket [0, 1e-12] (negative
+	// values clamp here too).
+	Zero uint64 `json:"zero,omitempty"`
+	// N, Sum, Min, Max mirror the exact streaming aggregates. Min and Max
+	// are omitted (and meaningless) when N is zero.
+	N   uint64  `json:"n"`
+	Sum float64 `json:"sum"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// State snapshots the sketch for serialization. The bin map is copied;
+// mutating the sketch afterwards does not alias the state. An empty
+// sketch reports Min/Max as 0 (the internal ±Inf sentinels do not survive
+// JSON); SketchFromState restores the sentinels from N == 0.
+func (s *Sketch) State() SketchState {
+	st := SketchState{Gamma: s.gamma, Zero: s.zero, N: s.n, Sum: s.sum}
+	if len(s.bins) > 0 {
+		st.Bins = make(map[int]uint64, len(s.bins))
+		for k, c := range s.bins {
+			st.Bins[k] = c
+		}
+	}
+	if s.n > 0 {
+		st.Min, st.Max = s.min, s.max
+	}
+	return st
+}
+
+// SketchFromState reconstructs a sketch from a (possibly untrusted) wire
+// state. The state is validated — gamma must define a usable accuracy,
+// counts must be internally consistent, and the float aggregates must be
+// finite — so a corrupted or adversarial state fails loudly instead of
+// poisoning a merge.
+func SketchFromState(st SketchState) (*Sketch, error) {
+	if !(st.Gamma > 1) || math.IsInf(st.Gamma, 0) {
+		return nil, fmt.Errorf("stats: sketch state gamma %v not in (1, +Inf)", st.Gamma)
+	}
+	var binned uint64
+	for k, c := range st.Bins {
+		if c == 0 {
+			return nil, fmt.Errorf("stats: sketch state bin %d has zero count", k)
+		}
+		binned += c
+	}
+	if st.Zero+binned != st.N {
+		return nil, fmt.Errorf("stats: sketch state counts inconsistent: zero %d + binned %d != n %d",
+			st.Zero, binned, st.N)
+	}
+	if math.IsNaN(st.Sum) || math.IsInf(st.Sum, 0) {
+		return nil, fmt.Errorf("stats: sketch state sum %v not finite", st.Sum)
+	}
+	s := &Sketch{
+		gamma:   st.Gamma,
+		invLogG: 1 / math.Log(st.Gamma),
+		bins:    make(map[int]uint64, len(st.Bins)),
+		zero:    st.Zero,
+		n:       st.N,
+		sum:     st.Sum,
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
+	}
+	for k, c := range st.Bins {
+		s.bins[k] = c
+	}
+	if st.N > 0 {
+		if math.IsNaN(st.Min) || math.IsInf(st.Min, 0) || math.IsNaN(st.Max) || math.IsInf(st.Max, 0) {
+			return nil, fmt.Errorf("stats: sketch state min/max %v/%v not finite", st.Min, st.Max)
+		}
+		if st.Min > st.Max {
+			return nil, fmt.Errorf("stats: sketch state min %v > max %v", st.Min, st.Max)
+		}
+		s.min, s.max = st.Min, st.Max
+	}
+	return s, nil
 }

@@ -73,6 +73,15 @@ func WithFrameTrace(s *Stream) Option { return func(c *RunConfig) { c.Trace = s 
 // mechanism as its per-request timeout.
 func WithHorizon(h Time) Option { return func(c *RunConfig) { c.Horizon = h } }
 
+// WithCancel makes the run abandonable: the simulator polls ch every
+// 100 virtual milliseconds and, once ch is closed, stops and fails with
+// ErrCanceled. Virtual time only advances while the simulation computes,
+// so an abandoned run observes the closure within one event batch of
+// wall time. dvfsd wires the request context's Done channel here so a
+// disconnected streaming client stops burning a pool worker. Cancelable
+// runs are never cache-served.
+func WithCancel(ch <-chan struct{}) Option { return func(c *RunConfig) { c.Cancel = ch } }
+
 // WithInvariants arms the run-time invariant checker: the event stream is
 // audited against the simulator's conservation laws (energy closure,
 // residency closure, frame accounting, event-time monotonicity — see

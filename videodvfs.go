@@ -260,6 +260,10 @@ func SetSessionReuse(on bool) (prev bool) { return experiments.SetSessionReuse(o
 // simulation horizon cut the run off; distinguish it with errors.Is.
 var ErrHorizonExceeded = experiments.ErrHorizonExceeded
 
+// ErrCanceled reports a run (or cohort) abandoned through its Cancel
+// channel before completion; distinguish it with errors.Is.
+var ErrCanceled = experiments.ErrCanceled
+
 // RunAll executes configs across a worker pool (workers ≤ 0 =
 // GOMAXPROCS) and returns outcomes in input order. Runs are independent
 // and seed-deterministic, so results are bit-identical for any worker
