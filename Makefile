@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test alloc-budget fleet-e2e fuzz-short strict golden trace-golden bench bench-compare bench-baseline bench-gate profile
+.PHONY: check vet build test alloc-budget fleet-e2e stress-e2e fuzz-short strict golden trace-golden bench bench-compare bench-baseline bench-gate profile
 
 # The full gate: vet, build, race-enabled tests (includes the golden
 # regression suite and the parallel/serial equivalence test), the
 # zero-allocation budget for the steady-state run loop, and the fleet
-# end-to-end battery.
-check: vet build test alloc-budget fleet-e2e
+# and wire-level stress end-to-end batteries.
+check: vet build test alloc-budget fleet-e2e stress-e2e
 
 vet:
 	$(GO) vet ./...
@@ -32,6 +32,15 @@ fleet-e2e:
 	$(GO) test -race -count 1 ./internal/fleet ./cmd/dvfsctl
 	$(GO) test -race -count 1 ./internal/server -run 'TestFleet|TestCohortPart|TestStream|TestRetryAfterSeconds'
 
+# The wire-level stress battery, -count 1 so it always re-executes: the
+# shaped origin + live player-driver over real sockets, the sim-vs-real
+# equivalence and metamorphic replay checks, the ≥100-concurrency hammer
+# against a real dvfsd handler, and the dvfsstress/dvfsim CLI plumbing
+# (DESIGN.md §14).
+stress-e2e:
+	$(GO) test -race -count 1 ./internal/stress ./cmd/dvfsstress
+	$(GO) test -race -count 1 ./cmd/dvfsim -run 'TestBWTraceFileReplay'
+
 # Ten seconds of coverage-guided fuzzing per untrusted-input parser
 # (checked-in seeds live under */testdata/fuzz). Native fuzzing allows
 # one -fuzz target per invocation, hence the separate runs.
@@ -43,8 +52,9 @@ fuzz-short:
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzRunConfigInvariants$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzSessionReset$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDecodeRunRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime $(FUZZTIME)
 
-# Rebuild the full 28-experiment evaluation with the invariant checker
+# Rebuild the full 29-experiment evaluation with the invariant checker
 # riding every simulation (DESIGN.md §10). Exits non-zero on the first
 # conservation-law breach; output is discarded — the audit is the point.
 strict:
@@ -96,7 +106,7 @@ bench-gate:
 	$(GO) test -run '^$$' -bench '$(GATE_BENCH)' $(GATE_FLAGS) . | tee bench/current.txt
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt -current bench/current.txt -out bench/BENCH_6.json
 
-# Profile the full 28-experiment campaign; inspect with
+# Profile the full 29-experiment campaign; inspect with
 #   go tool pprof prof/exprun.cpu  (or .mem)
 profile:
 	@mkdir -p prof

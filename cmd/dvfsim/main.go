@@ -44,7 +44,8 @@ func run(args []string) error {
 		device       = fs.String("device", "flagship", "device model: flagship, midrange, efficient")
 		resName      = fs.String("res", "720p", "pinned resolution (fixed ABR): 360p, 480p, 720p, 1080p")
 		titleName    = fs.String("title", "sports", "content profile: news, sports, animation")
-		net          = fs.String("net", "const8", "network: wifi, const8, lte, umts")
+		net          = fs.String("net", "const8", "network: wifi, const8, lte, umts, trace")
+		bwTracePath  = fs.String("trace-file", "", "bandwidth trace JSONL (from dvfsstress play) replayed with -net trace")
 		abrName      = fs.String("abr", "fixed", "ABR: fixed, rate, bba")
 		duration     = fs.Float64("duration", 60, "content length in seconds")
 		seed         = fs.Int64("seed", 1, "random seed")
@@ -113,6 +114,21 @@ func run(args []string) error {
 		}
 		rrc.FastDormancy = true
 		cfg.RRC = &rrc
+	}
+
+	if *bwTracePath != "" {
+		f, ferr := os.Open(*bwTracePath)
+		if ferr != nil {
+			return ferr
+		}
+		tr, rerr := videodvfs.ReadBWTrace(f)
+		if cerr := f.Close(); rerr == nil && cerr != nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			return rerr
+		}
+		cfg.BWTrace = &tr
 	}
 
 	if *tracePath != "" {

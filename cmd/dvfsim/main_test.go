@@ -85,6 +85,39 @@ func TestTraceReplay(t *testing.T) {
 	}
 }
 
+func TestBWTraceFileReplay(t *testing.T) {
+	// Write a bandwidth trace in the canonical JSONL form and replay it
+	// through the full -net trace flag plumbing.
+	tr := videodvfs.BWTrace{Samples: []videodvfs.BWSample{
+		{Start: 0, End: 2, Bytes: 2.5e6, Fetch: 0},
+		{Start: 2.2, End: 4, Bytes: 2.2e6, Fetch: 1},
+	}}
+	path := t.TempDir() + "/bw.jsonl"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := videodvfs.WriteBWTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{
+		"-net", "trace", "-trace-file", path, "-governor", "ondemand",
+		"-res", "360p", "-title", "news", "-duration", "6",
+		"-nobackground", "-strict", "-json",
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("dvfsim -net trace: %v", err)
+	}
+	// Omitting the trace file must fail with the config error, not panic.
+	err = run([]string{"-net", "trace", "-duration", "1"})
+	if err == nil || !strings.Contains(err.Error(), "trace") {
+		t.Fatalf("missing -trace-file: got %v", err)
+	}
+}
+
 func TestBatchText(t *testing.T) {
 	var buf strings.Builder
 	cfg := videodvfs.DefaultSession()

@@ -1,0 +1,237 @@
+// Command dvfsstress exercises the wire-level stress mode: a shaped
+// origin server, a live player-driver that records replayable bandwidth
+// traces, and a load generator for dvfsd/dvfsctl endpoints.
+//
+// Usage:
+//
+//	dvfsstress serve  -listen :9090 -rate 8e6 -shape onoff
+//	dvfsstress play   -origin http://127.0.0.1:9090 -duration 30 \
+//	                  -out trace.jsonl
+//	dvfsstress hammer -targets http://127.0.0.1:8080 -n 500 -c 100
+//
+// A trace recorded by play replays deterministically in the simulator:
+//
+//	dvfsim -net trace -trace-file trace.jsonl -nobackground
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"videodvfs"
+	"videodvfs/internal/sim"
+	"videodvfs/internal/stress"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsstress:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: dvfsstress <serve|play|hammer> [flags]")
+	}
+	switch args[0] {
+	case "serve":
+		return serveCmd(args[1:])
+	case "play":
+		return playCmd(args[1:])
+	case "hammer":
+		return hammerCmd(args[1:])
+	default:
+		return fmt.Errorf("unknown subcommand %q (want serve, play, or hammer)", args[0])
+	}
+}
+
+// serveCmd runs the shaped-bitrate origin until interrupted.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("dvfsstress serve", flag.ContinueOnError)
+	var (
+		listen = fs.String("listen", "127.0.0.1:9090", "listen address")
+		rate   = fs.Float64("rate", 8e6, "target delivery rate in bits/s")
+		shape  = fs.String("shape", "steady", "delivery discipline: steady, onoff, throttle")
+		onDur  = fs.Duration("on", 200*time.Millisecond, "ON window of the onoff cycle")
+		offDur = fs.Duration("off", 300*time.Millisecond, "OFF window of the onoff cycle")
+		burst  = fs.Int("burst", 256<<10, "unthrottled head bytes of a throttle response")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shp, err := stress.ParseShape(*shape)
+	if err != nil {
+		return err
+	}
+	o, err := stress.NewOrigin(stress.OriginConfig{
+		RateBps: *rate, Shape: shp,
+		OnDur: *onDur, OffDur: *offDur, BurstBytes: *burst,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	log.Printf("dvfsstress: origin listening on %s (%s, %.1f Mbps)", ln.Addr(), shp, *rate/1e6)
+	srv := &http.Server{Handler: o.Handler()}
+	go func() {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// playCmd runs the live player-driver against an origin and writes the
+// recorded bandwidth trace.
+func playCmd(args []string) error {
+	fs := flag.NewFlagSet("dvfsstress play", flag.ContinueOnError)
+	var (
+		origin    = fs.String("origin", "", "origin base URL (required)")
+		govName   = fs.String("governor", "ondemand", "stock cpufreq governor for the decode core")
+		device    = fs.String("device", "flagship", "device model: flagship, midrange, efficient")
+		titleName = fs.String("title", "sports", "content profile: news, sports, animation")
+		resName   = fs.String("res", "720p", "rendition: 360p, 480p, 720p, 1080p")
+		duration  = fs.Float64("duration", 30, "content length in seconds")
+		seed      = fs.Int64("seed", 1, "random seed (reuse for the replay)")
+		segment   = fs.Float64("segment", 0, "segment duration in seconds (0 = default 2)")
+		rateQuery = fs.String("rate-query", "", `per-request shaping override, e.g. "rate=4e6&shape=onoff"`)
+		out       = fs.String("out", "", "write the recorded bandwidth trace JSONL here ('-' = stdout)")
+		jsonOut   = fs.Bool("json", false, "emit the metrics as JSON instead of the text report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := stress.PlayConfig{
+		OriginURL:  *origin,
+		Governor:   *govName,
+		Seed:       *seed,
+		Duration:   sim.Time(*duration),
+		SegmentDur: sim.Time(*segment),
+		RateQuery:  *rateQuery,
+	}
+	var err error
+	if cfg.Device, err = videodvfs.DeviceByName(*device); err != nil {
+		return err
+	}
+	if cfg.Title, err = videodvfs.TitleByName(*titleName); err != nil {
+		return err
+	}
+	if cfg.Rung, err = videodvfs.ResolutionByName(*resName); err != nil {
+		return err
+	}
+	res, err := stress.Play(cfg)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, ferr := os.Create(*out)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := videodvfs.WriteBWTrace(w, res.Trace); err != nil {
+			return err
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"completed":     res.Metrics.Completed,
+			"startupS":      res.Metrics.StartupDelay.Seconds(),
+			"rebufferCount": res.Metrics.RebufferCount,
+			"rebufferS":     res.Metrics.RebufferTime.Seconds(),
+			"droppedFrames": res.Metrics.DroppedFrames,
+			"fetches":       len(res.SegmentBits),
+			"traceSamples":  len(res.Trace.Samples),
+			"traceBytes":    res.Trace.TotalBytes(),
+			"simEndS":       res.SimEnd.Seconds(),
+			"wallS":         res.WallDur.Seconds(),
+		})
+	}
+	fmt.Fprintf(os.Stderr,
+		"play: completed=%v startup=%.2fs rebuffers=%d drops=%d fetches=%d samples=%d bytes=%.0f wall=%.1fs\n",
+		res.Metrics.Completed, res.Metrics.StartupDelay.Seconds(),
+		res.Metrics.RebufferCount, res.Metrics.DroppedFrames,
+		len(res.SegmentBits), len(res.Trace.Samples), res.Trace.TotalBytes(),
+		res.WallDur.Seconds())
+	return nil
+}
+
+// hammerCmd load-tests dvfsd/dvfsctl endpoints and reports envelope
+// violations.
+func hammerCmd(args []string) error {
+	fs := flag.NewFlagSet("dvfsstress hammer", flag.ContinueOnError)
+	var (
+		targets = fs.String("targets", "", "comma-separated base URLs (required)")
+		path    = fs.String("path", "/v1/run", "endpoint path")
+		body    = fs.String("body", `{"governor":"ondemand","net":"const8","duration_s":10}`,
+			"JSON request body ('@file' reads a file)")
+		n       = fs.Int("n", 100, "total requests")
+		c       = fs.Int("c", 8, "concurrent workers")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-attempt timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b := []byte(*body)
+	if strings.HasPrefix(*body, "@") {
+		var err error
+		if b, err = os.ReadFile((*body)[1:]); err != nil {
+			return err
+		}
+	}
+	res, err := stress.Hammer(stress.HammerConfig{
+		Targets:     splitNonEmpty(*targets),
+		Path:        *path,
+		Body:        b,
+		Requests:    *n,
+		Concurrency: *c,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hammer: %d requests (%d workers) in %.2fs: %d ok, %d rejected, %d failed, %d retries, p50 %v p99 %v\n",
+		res.Requests, *c, res.WallDur.Seconds(), res.OK, res.Rejected, res.Failed,
+		res.Retried, res.LatencyP50.Round(time.Microsecond), res.LatencyP99.Round(time.Microsecond))
+	for _, v := range res.Violations {
+		fmt.Printf("  VIOLATION target=%s status=%d: %s\n", v.Target, v.Status, v.Reason)
+	}
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("%d envelope violations", len(res.Violations))
+	}
+	return nil
+}
+
+// splitNonEmpty splits a comma list, dropping empty elements.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

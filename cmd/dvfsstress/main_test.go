@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"videodvfs"
+	"videodvfs/internal/server"
+)
+
+// logCapture tees the standard logger into a buffer so the test can
+// recover the ephemeral listen address from the startup line.
+type logCapture struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (c *logCapture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.Write(p)
+}
+
+func (c *logCapture) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buf.String()
+}
+
+var listenLine = regexp.MustCompile(`origin listening on (\S+)`)
+
+// TestServePlayEndToEnd boots the origin subcommand on an ephemeral
+// port, drives the play subcommand against it, and asserts the recorded
+// trace file decodes, validates, and replays in the simulator.
+func TestServePlayEndToEnd(t *testing.T) {
+	capt := &logCapture{}
+	prev := log.Writer()
+	log.SetOutput(capt)
+	defer log.SetOutput(prev)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"serve", "-listen", "127.0.0.1:0", "-rate", "16e6"})
+	}()
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if m := listenLine.FindStringSubmatch(capt.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("origin never logged its address:\n%s", capt.String())
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	origin := "http://" + addr
+	resp, err := http.Get(origin + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+
+	out := filepath.Join(t.TempDir(), "trace.jsonl")
+	err = run([]string{"play",
+		"-origin", origin, "-title", "news", "-res", "360p",
+		"-duration", "6", "-seed", "3", "-out", out,
+	})
+	if err != nil {
+		t.Fatalf("play: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := videodvfs.ReadBWTrace(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("recorded trace: %v", err)
+	}
+	if len(tr.Samples) == 0 {
+		t.Fatal("recorded trace is empty")
+	}
+
+	// The recorded file replays through the public Run API.
+	rcfg := videodvfs.RunConfig{
+		Governor:   videodvfs.GovOndemand,
+		Net:        videodvfs.NetTrace,
+		BWTrace:    &tr,
+		Duration:   6 * videodvfs.Second,
+		Seed:       3,
+		Background: false,
+	}
+	var terr error
+	if rcfg.Title, terr = videodvfs.TitleByName("news"); terr != nil {
+		t.Fatal(terr)
+	}
+	if rcfg.Rung, terr = videodvfs.ResolutionByName("360p"); terr != nil {
+		t.Fatal(terr)
+	}
+	res, err := videodvfs.Run(rcfg)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !res.QoE.Completed {
+		t.Fatal("replay did not complete")
+	}
+
+	// SIGTERM stops the origin cleanly.
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve exited with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit after SIGTERM")
+	}
+}
+
+// TestHammerSubcommand drives the hammer against a real dvfsd handler.
+func TestHammerSubcommand(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	err := run([]string{"hammer",
+		"-targets", ts.URL, "-n", "20", "-c", "10",
+		"-body", `{"governor":"ondemand","net":"const8","duration_s":2}`,
+	})
+	if err != nil {
+		t.Fatalf("hammer: %v", err)
+	}
+}
+
+// TestUsageErrors pins the CLI contract for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := run([]string{"play"}); err == nil {
+		t.Error("play without -origin accepted")
+	}
+	if err := run([]string{"hammer", "-n", "1"}); err == nil {
+		t.Error("hammer without targets accepted")
+	}
+	if err := run([]string{"serve", "-shape", "sawtooth"}); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}

@@ -88,6 +88,22 @@ func CanonicalConfig(cfg RunConfig) ([]byte, bool) {
 	num("rung.h", int64(cfg.Rung.Height))
 	str("abr", string(cfg.ABR))
 	str("net", string(cfg.Net))
+	// A recorded bandwidth trace IS config, unlike a frame Trace: it is
+	// small (one sample per transfer chunk), fully determines replay, and
+	// hashing it keeps trace-backed runs cacheable — the fleet shards
+	// them by this key like any other config.
+	if cfg.BWTrace == nil {
+		str("bwtrace", "")
+	} else {
+		num("bwtrace.samples", int64(len(cfg.BWTrace.Samples)))
+		for i, s := range cfg.BWTrace.Samples {
+			p := "bwtrace." + strconv.Itoa(i)
+			dur(p+".t0", s.Start)
+			dur(p+".t1", s.End)
+			flt(p+".bytes", s.Bytes)
+			num(p+".fetch", int64(s.Fetch))
+		}
+	}
 	if cfg.RRC == nil {
 		str("rrc", "")
 	} else {

@@ -101,10 +101,11 @@ func TestCanonicalConfigShape(t *testing.T) {
 	b, _ := CanonicalConfig(DefaultRunConfig())
 	lines := strings.Split(strings.TrimSuffix(string(b), "\n"), "\n")
 	// 3 device header + 4 per OPP + 1 governor + 10 policy + 4 title +
-	// 3 rung + abr/net/rrc + duration/seed/bgseed/queuecap/lowwater +
-	// thermal + cstates/codec/lowlatency/segmentdur/background/horizon/fps.
+	// 3 rung + abr/net/bwtrace/rrc + duration/seed/bgseed/queuecap/
+	// lowwater + thermal + cstates/codec/lowlatency/segmentdur/
+	// background/horizon/fps.
 	opps := len(DefaultRunConfig().Device.OPPs)
-	want := 3 + 4*opps + 1 + 10 + 4 + 3 + 3 + 5 + 1 + 7
+	want := 3 + 4*opps + 1 + 10 + 4 + 3 + 4 + 5 + 1 + 7
 	if len(lines) != want {
 		t.Fatalf("canonical form has %d lines, want %d:\n%s", len(lines), want, b)
 	}
@@ -112,5 +113,36 @@ func TestCanonicalConfigShape(t *testing.T) {
 		if !strings.Contains(ln, "=") {
 			t.Fatalf("line %d %q is not key=value", i, ln)
 		}
+	}
+}
+
+// Trace-backed configs stay cacheable (the fleet shards them by content
+// key), and the trace samples are part of the identity: two configs
+// differing only in trace content must never collide.
+func TestCanonicalConfigHashesBWTrace(t *testing.T) {
+	base := DefaultRunConfig()
+	base.Net = NetTrace
+	base.BWTrace = &netsim.Trace{Samples: []netsim.TraceSample{
+		{Start: 0, End: 1, Bytes: 1000, Fetch: 0},
+	}}
+	b1, ok := CanonicalConfig(base)
+	if !ok {
+		t.Fatal("trace-backed config reported uncacheable")
+	}
+	other := base
+	other.BWTrace = &netsim.Trace{Samples: []netsim.TraceSample{
+		{Start: 0, End: 1, Bytes: 2000, Fetch: 0},
+	}}
+	b2, _ := CanonicalConfig(other)
+	if bytes.Equal(b1, b2) {
+		t.Fatal("different traces canonicalize identically")
+	}
+	same := base
+	same.BWTrace = &netsim.Trace{Samples: []netsim.TraceSample{
+		{Start: 0, End: 1, Bytes: 1000, Fetch: 0},
+	}}
+	b3, _ := CanonicalConfig(same)
+	if !bytes.Equal(b1, b3) {
+		t.Fatal("equal trace content canonicalizes differently across pointers")
 	}
 }

@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"bytes"
+	_ "embed"
 	"fmt"
+	"sync"
 
 	"videodvfs/internal/netsim"
 	"videodvfs/internal/sim"
@@ -17,7 +20,7 @@ func FigF10() (Table, error) {
 		Notes:  "CPU savings persist on every link; stalls track the network, not the governor",
 	}
 	var cfgs []RunConfig
-	for _, net := range NetKinds() {
+	for _, net := range SyntheticNetKinds() {
 		for _, gov := range []GovernorID{GovOndemand, GovEnergyAware} {
 			cfg := DefaultRunConfig()
 			cfg.Governor = gov
@@ -142,6 +145,57 @@ func TableT3() (Table, error) {
 			iv(res.RadioPromotions),
 			f1(holdPerMin),
 			users,
+		})
+	}
+	return t, nil
+}
+
+// refBWTrace is a reference bandwidth trace recorded by the dvfsstress
+// player-driver against a shaped loopback origin (12 Mbit/s ON-OFF,
+// 200/300 ms cycle): 15 segment fetches of 720p sports content over real
+// sockets, in the canonical JSONL form. Checked in so t8 replays the
+// same wire-level timing forever.
+//
+//go:embed testdata/ref_bwtrace.jsonl
+var refBWTraceJSONL []byte
+
+var refBWTraceOnce = sync.OnceValues(func() (netsim.Trace, error) {
+	return netsim.ReadTrace(bytes.NewReader(refBWTraceJSONL))
+})
+
+// TableT8 extends the evaluation to recorded real-network conditions:
+// governor comparison over a trace captured from live HTTP delivery
+// (the dvfsstress pair), replayed bit-exactly by the trace backend.
+func TableT8() (Table, error) {
+	t := Table{
+		ID:     "t8",
+		Title:  "Recorded-trace replay (720p@30, 30 s, 12 Mbps ON-OFF capture): energy and QoE by governor",
+		Header: []string{"governor", "cpu_j", "radio_j", "total_j", "startup_s", "rebuffers", "drops"},
+		Notes:  "the sim-to-real loop closed: a trace recorded over real sockets drives the same governor ranking as the synthetic links",
+	}
+	tr, err := refBWTraceOnce()
+	if err != nil {
+		return Table{}, fmt.Errorf("t8: reference trace: %w", err)
+	}
+	govs := []GovernorID{GovPerformance, GovOndemand, GovEnergyAware, GovOracle}
+	cfgs := make([]RunConfig, 0, len(govs))
+	for _, gov := range govs {
+		cfg := DefaultRunConfig()
+		cfg.Governor = gov
+		cfg.Net = NetTrace
+		cfg.BWTrace = &tr
+		cfg.Duration = 30 * sim.Second
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runAllStrict(cfgs)
+	if err != nil {
+		return Table{}, fmt.Errorf("t8: %w", err)
+	}
+	for i, res := range results {
+		t.Rows = append(t.Rows, []string{
+			string(cfgs[i].Governor), f1(res.CPUJ), f1(res.RadioJ), f1(res.TotalJ()),
+			f2c(res.QoE.StartupDelay.Seconds()), iv(res.QoE.RebufferCount),
+			iv(res.QoE.DroppedFrames),
 		})
 	}
 	return t, nil

@@ -7,6 +7,7 @@ import (
 
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/invariant"
+	"videodvfs/internal/netsim"
 	"videodvfs/internal/sim"
 	"videodvfs/internal/video"
 )
@@ -155,6 +156,16 @@ func FuzzRunConfigInvariants(f *testing.F) {
 			LowLatency:      lowlat,
 			Background:      bg,
 			Strict:          true,
+		}
+		if cfg.Net == NetTrace {
+			// The trace backend needs sample data; a fixed two-fetch trace
+			// with a mid-fetch stall puts the replay physics (including the
+			// rate-0 stall regime) under the invariant audit.
+			cfg.BWTrace = &netsim.Trace{Samples: []netsim.TraceSample{
+				{Start: 0, End: 0.4, Bytes: 400_000, Fetch: 0},
+				{Start: 0.6, End: 0.8, Bytes: 100_000, Fetch: 0},
+				{Start: 1.0, End: 1.5, Bytes: 600_000, Fetch: 1},
+			}}
 		}
 		_, err := Run(cfg)
 		if err == nil {

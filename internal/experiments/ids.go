@@ -126,7 +126,7 @@ func ParseNetKind(name string) (NetKind, error) {
 	switch NetKind(name) {
 	case "":
 		return NetWiFi, nil
-	case NetWiFi, NetConst8, NetLTE, NetUMTS:
+	case NetWiFi, NetConst8, NetLTE, NetUMTS, NetTrace:
 		// Fast path mirroring ParseGovernorID: keep Validate allocation-free.
 		return NetKind(name), nil
 	}

@@ -35,10 +35,21 @@ const (
 	NetUMTS NetKind = "umts"
 	// NetConst8 is a constant 8 Mbps link (enough for the top rung).
 	NetConst8 NetKind = "const8"
+	// NetTrace replays a recorded bandwidth/timing trace
+	// (RunConfig.BWTrace, typically captured by `dvfsstress play` over a
+	// real TCP path) through the simulator.
+	NetTrace NetKind = "trace"
 )
 
-// NetKinds returns the profiles in report order.
-func NetKinds() []NetKind { return []NetKind{NetWiFi, NetConst8, NetLTE, NetUMTS} }
+// NetKinds returns every network kind, synthetic profiles first in
+// report order, then the trace-replay backend.
+func NetKinds() []NetKind { return []NetKind{NetWiFi, NetConst8, NetLTE, NetUMTS, NetTrace} }
+
+// SyntheticNetKinds returns the self-contained profiles — the ones a
+// sweep can iterate without supplying trace data. Experiments that fan
+// out "across all networks" (FigF10) use this list, which is why its
+// order matches the historical report order.
+func SyntheticNetKinds() []NetKind { return []NetKind{NetWiFi, NetConst8, NetLTE, NetUMTS} }
 
 // RunConfig describes one streaming simulation.
 type RunConfig struct {
@@ -61,6 +72,11 @@ type RunConfig struct {
 	ABR ABRID
 	// Net selects the bandwidth profile.
 	Net NetKind
+	// BWTrace is the recorded bandwidth trace replayed when Net is
+	// NetTrace (required then, forbidden otherwise). Load one with
+	// netsim.ReadTrace. The trace is read-only during the run, so one
+	// trace may back many concurrent runs.
+	BWTrace *netsim.Trace
 	// RRC configures the radio (DefaultUMTS for NetUMTS, DefaultLTE
 	// otherwise, if zero).
 	RRC *netsim.RRCConfig
@@ -203,6 +219,21 @@ func (cfg RunConfig) Validate() error {
 	}
 	if _, err := ParseNetKind(string(cfg.Net)); err != nil {
 		return fmt.Errorf("experiments: %w: %w", ErrInvalidConfig, err)
+	}
+	// The trace backend has no synthetic fallback: net "trace" without
+	// sample data (or trace data under another net) is a contradiction
+	// the caller must resolve, not something to paper over.
+	if cfg.Net == NetTrace {
+		if cfg.BWTrace == nil {
+			return fmt.Errorf("experiments: %w: net %q requires a bandwidth trace (BWTrace)",
+				ErrInvalidConfig, NetTrace)
+		}
+		if err := cfg.BWTrace.Validate(); err != nil {
+			return fmt.Errorf("experiments: %w: %w", ErrInvalidConfig, err)
+		}
+	} else if cfg.BWTrace != nil {
+		return fmt.Errorf("experiments: %w: bandwidth trace set but net is %q, not %q",
+			ErrInvalidConfig, cfg.Net, NetTrace)
 	}
 	if cfg.Duration <= 0 && cfg.Trace == nil {
 		return fmt.Errorf("experiments: %w: duration %v not positive", ErrInvalidConfig, cfg.Duration)
@@ -353,6 +384,14 @@ func buildBandwidthBase(cfg RunConfig) (netsim.Bandwidth, netsim.RRCConfig, erro
 		}
 		bw = tr
 		bwCache.Store(key, bw)
+	case NetTrace:
+		if cfg.BWTrace == nil {
+			return nil, rrc, fmt.Errorf("experiments: net %q requires a bandwidth trace", NetTrace)
+		}
+		// Recorded traces are caller-owned and already immutable; no
+		// memoization needed (and the (net, dur, seed) bwCache key could
+		// not tell two different traces apart anyway).
+		bw = *cfg.BWTrace
 	default:
 		return nil, rrc, fmt.Errorf("experiments: unknown network kind %q", cfg.Net)
 	}

@@ -161,6 +161,14 @@ func TestRunABRAndNetworks(t *testing.T) {
 		cfg.Net = net
 		cfg.ABR = "bba"
 		cfg.Duration = 30 * sim.Second
+		if net == NetTrace {
+			// The trace backend needs sample data; the post-recording
+			// tail (last rate holds) carries the run past 1 s of trace.
+			cfg.BWTrace = &netsim.Trace{Samples: []netsim.TraceSample{
+				{Start: 0, End: 0.5, Bytes: 500_000, Fetch: 0},
+				{Start: 0.7, End: 1.0, Bytes: 200_000, Fetch: 1},
+			}}
+		}
 		res := mustRun(t, cfg)
 		if res.QoE.TotalFrames == 0 {
 			t.Fatalf("%s: no frames", net)
@@ -269,10 +277,10 @@ func TestGetUnknownExperiment(t *testing.T) {
 
 func TestIDsStableOrder(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 28 {
-		t.Fatalf("got %d experiments, want 28", len(ids))
+	if len(ids) != 29 {
+		t.Fatalf("got %d experiments, want 29", len(ids))
 	}
-	if ids[0] != "t1" || ids[len(ids)-1] != "t7" {
+	if ids[0] != "t1" || ids[len(ids)-1] != "t8" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 }

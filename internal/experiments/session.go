@@ -575,6 +575,12 @@ func (s *Session) governorFor(cfg RunConfig, tr trace.Tracer) (governor.Governor
 // bandwidthFor resolves the run's bandwidth model and RRC profile through
 // the arena-local memo, falling back to the package caches.
 func (s *Session) bandwidthFor(cfg RunConfig) (netsim.Bandwidth, netsim.RRCConfig, error) {
+	// Trace-backed runs bypass the memo: its (net, duration, seed) key
+	// cannot tell two different recorded traces apart, and the trace is
+	// the caller's — nothing to generate or cache.
+	if cfg.Net == NetTrace {
+		return buildBandwidth(cfg)
+	}
 	if s.lastBW != nil && cfg.Net == s.lastBWNet && cfg.Duration == s.lastBWDur && cfg.Seed == s.lastBWSeed {
 		rrc := s.lastRRC
 		if cfg.RRC != nil {

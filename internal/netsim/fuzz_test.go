@@ -1,0 +1,68 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzTraceDecode fuzzes the JSONL trace parser: arbitrary input must
+// either decode to a trace that passes Validate and round-trips
+// byte-stably through WriteTrace/ReadTrace, or be rejected with an error
+// matching ErrInvalidTrace (NaN/Inf/negative values, non-monotonic or
+// overlapping timestamps, malformed JSON). It must never panic.
+func FuzzTraceDecode(f *testing.F) {
+	seeds := []string{
+		"",
+		"{}\n",
+		`{"format":"videodvfs-bwtrace","version":1}` + "\n",
+		`{"format":"videodvfs-bwtrace","version":1}` + "\n" +
+			`{"t0":0,"t1":1,"bytes":100,"fetch":0}` + "\n",
+		`{"format":"videodvfs-bwtrace","version":1}` + "\n" +
+			`{"t0":0.5,"t1":1,"bytes":50000,"fetch":0}` + "\n" +
+			`{"t0":1.2,"t1":1.7,"bytes":25000,"fetch":0}` + "\n" +
+			`{"t0":2.5,"t1":3,"bytes":100000,"fetch":1}` + "\n",
+		`{"format":"videodvfs-bwtrace","version":2}` + "\n",
+		`{"format":"videodvfs-bwtrace","version":1}` + "\n" +
+			`{"t0":-1,"t1":1,"bytes":1,"fetch":0}` + "\n",
+		`{"format":"videodvfs-bwtrace","version":1}` + "\n" +
+			`{"t0":0,"t1":1e999,"bytes":1,"fetch":0}` + "\n",
+		`{"format":"videodvfs-bwtrace","version":1}` + "\n" +
+			`{"t0":3,"t1":4,"bytes":1,"fetch":0}` + "\n" +
+			`{"t0":1,"t1":2,"bytes":1,"fetch":0}` + "\n",
+		`{"format":"videodvfs-bwtrace","version":1}` + "\n" +
+			`{"t0":0,"t1":1,"bytes":1,"fetch":0,"extra":true}` + "\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrInvalidTrace) {
+				t.Fatalf("ReadTrace error %v does not match ErrInvalidTrace", err)
+			}
+			return
+		}
+		// Accepted input: the result must satisfy the trace contract...
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted trace fails Validate: %v", verr)
+		}
+		// ...and re-serialize into a stable canonical byte form.
+		var buf1 bytes.Buffer
+		if werr := WriteTrace(&buf1, tr); werr != nil {
+			t.Fatalf("WriteTrace on accepted trace: %v", werr)
+		}
+		tr2, rerr := ReadTrace(bytes.NewReader(buf1.Bytes()))
+		if rerr != nil {
+			t.Fatalf("re-read of canonical form failed: %v", rerr)
+		}
+		var buf2 bytes.Buffer
+		if werr := WriteTrace(&buf2, tr2); werr != nil {
+			t.Fatalf("WriteTrace (second pass): %v", werr)
+		}
+		if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+			t.Fatalf("canonical form not a fixed point:\n%q\nvs\n%q", buf1.Bytes(), buf2.Bytes())
+		}
+	})
+}

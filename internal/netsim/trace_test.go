@@ -1,0 +1,211 @@
+package netsim
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"videodvfs/internal/sim"
+)
+
+// refTrace is a small two-fetch trace exercising every Rate regime:
+// lead-in, inside-sample, mid-fetch stall, cross-fetch gap, and tail.
+func refTrace() Trace {
+	return Trace{Samples: []TraceSample{
+		{Start: 0.5, End: 1.0, Bytes: 50_000, Fetch: 0},  // 800 kbit/s
+		{Start: 1.2, End: 1.7, Bytes: 25_000, Fetch: 0},  // 400 kbit/s, after a 200ms stall
+		{Start: 2.5, End: 3.0, Bytes: 100_000, Fetch: 1}, // 1600 kbit/s, new fetch
+	}}
+}
+
+func TestTraceValidateAccepts(t *testing.T) {
+	if err := refTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	// Back-to-back samples (Start == previous End) are legal.
+	tr := Trace{Samples: []TraceSample{
+		{Start: 0, End: 1, Bytes: 10, Fetch: 0},
+		{Start: 1, End: 2, Bytes: 10, Fetch: 0},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("contiguous samples rejected: %v", err)
+	}
+}
+
+func TestTraceValidateRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []TraceSample
+	}{
+		{"empty", nil},
+		{"nan start", []TraceSample{{Start: sim.Time(math.NaN()), End: 1, Bytes: 1}}},
+		{"inf end", []TraceSample{{Start: 0, End: sim.Time(math.Inf(1)), Bytes: 1}}},
+		{"nan bytes", []TraceSample{{Start: 0, End: 1, Bytes: math.NaN()}}},
+		{"negative start", []TraceSample{{Start: -0.1, End: 1, Bytes: 1}}},
+		{"zero span", []TraceSample{{Start: 1, End: 1, Bytes: 1}}},
+		{"inverted span", []TraceSample{{Start: 2, End: 1, Bytes: 1}}},
+		{"zero bytes", []TraceSample{{Start: 0, End: 1, Bytes: 0}}},
+		{"negative bytes", []TraceSample{{Start: 0, End: 1, Bytes: -5}}},
+		{"negative fetch", []TraceSample{{Start: 0, End: 1, Bytes: 1, Fetch: -1}}},
+		{"overlap", []TraceSample{
+			{Start: 0, End: 1, Bytes: 1},
+			{Start: 0.5, End: 2, Bytes: 1},
+		}},
+		{"fetch decreases", []TraceSample{
+			{Start: 0, End: 1, Bytes: 1, Fetch: 1},
+			{Start: 1, End: 2, Bytes: 1, Fetch: 0},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Trace{Samples: tc.samples}.Validate()
+			if !errors.Is(err, ErrInvalidTrace) {
+				t.Fatalf("Validate = %v, want ErrInvalidTrace", err)
+			}
+		})
+	}
+}
+
+func TestTraceRateRegimes(t *testing.T) {
+	tr := refTrace()
+	cases := []struct {
+		name      string
+		now       sim.Time
+		wantRate  float64
+		wantUntil sim.Time
+	}{
+		// Lead-in before the first sample: upcoming rate, so a replayed
+		// fetch that starts at t=0 doesn't stall on recorder lead time.
+		{"lead-in", 0.0, 800e3, 1.0},
+		{"inside first", 0.6, 800e3, 1.0},
+		{"at sample start", 0.5, 800e3, 1.0},
+		// Gap between samples 0 and 1, same fetch: the wire stalled.
+		{"mid-fetch stall", 1.1, 0, 1.2},
+		{"inside second", 1.5, 400e3, 1.7},
+		// Gap between fetch 0 and fetch 1: player idle, upcoming rate.
+		{"cross-fetch gap", 2.0, 1600e3, 3.0},
+		{"inside third", 2.75, 1600e3, 3.0},
+		// Past the recording: last rate holds forever.
+		{"tail", 5.0, 1600e3, sim.Forever},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rate, until := tr.Rate(tc.now)
+			if math.Abs(rate-tc.wantRate) > 1e-6*math.Max(1, tc.wantRate) {
+				t.Errorf("Rate(%v) rate = %v, want %v", tc.now, rate, tc.wantRate)
+			}
+			if until != tc.wantUntil {
+				t.Errorf("Rate(%v) until = %v, want %v", tc.now, until, tc.wantUntil)
+			}
+		})
+	}
+}
+
+// The Bandwidth contract: `until` must be strictly in the future, so the
+// downloader's resume scheduling always advances time.
+func TestTraceRateUntilAdvances(t *testing.T) {
+	tr := refTrace()
+	for now := sim.Time(0); now < 4; now += 0.05 {
+		_, until := tr.Rate(now)
+		if until <= now {
+			t.Fatalf("Rate(%v) until = %v, not in the future", now, until)
+		}
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := refTrace()
+	if got := tr.Duration(); got != 3.0 {
+		t.Errorf("Duration = %v, want 3.0", got)
+	}
+	if got := tr.TotalBytes(); got != 175_000 {
+		t.Errorf("TotalBytes = %v, want 175000", got)
+	}
+	if got := tr.Fetches(); got != 2 {
+		t.Errorf("Fetches = %v, want 2", got)
+	}
+	if got := tr.FetchBytes(); !reflect.DeepEqual(got, []float64{75_000, 100_000}) {
+		t.Errorf("FetchBytes = %v, want [75000 100000]", got)
+	}
+	var empty Trace
+	if empty.Duration() != 0 || empty.TotalBytes() != 0 || empty.Fetches() != 0 || empty.FetchBytes() != nil {
+		t.Errorf("empty-trace accessors not zero-valued")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := refTrace()
+	// Perturb with values that stress float formatting.
+	tr.Samples = append(tr.Samples, TraceSample{
+		Start: 3.0000001, End: 3.1415926535897931, Bytes: 1.5, Fetch: 2,
+	})
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, tr); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	got, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+	// Re-serializing the decoded trace must be byte-identical: the
+	// determinism rule the metamorphic stress test depends on.
+	var buf2 bytes.Buffer
+	if err := WriteTrace(&buf2, got); err != nil {
+		t.Fatalf("WriteTrace (second): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("serialization not stable:\n%s\nvs\n%s", buf.Bytes(), buf2.Bytes())
+	}
+}
+
+func TestReadTraceRejects(t *testing.T) {
+	hdr := `{"format":"videodvfs-bwtrace","version":1}` + "\n"
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty input", ""},
+		{"garbage header", "not json\n"},
+		{"wrong format", `{"format":"other","version":1}` + "\n"},
+		{"wrong version", `{"format":"videodvfs-bwtrace","version":2}` + "\n"},
+		{"unknown header field", `{"format":"videodvfs-bwtrace","version":1,"x":1}` + "\n"},
+		{"no samples", hdr},
+		{"garbage line", hdr + "nope\n"},
+		{"unknown sample field", hdr + `{"t0":0,"t1":1,"bytes":1,"fetch":0,"x":1}` + "\n"},
+		{"trailing data on line", hdr + `{"t0":0,"t1":1,"bytes":1,"fetch":0} {}` + "\n"},
+		{"nan literal", hdr + `{"t0":NaN,"t1":1,"bytes":1,"fetch":0}` + "\n"},
+		{"negative time", hdr + `{"t0":-1,"t1":1,"bytes":1,"fetch":0}` + "\n"},
+		{"inverted span", hdr + `{"t0":2,"t1":1,"bytes":1,"fetch":0}` + "\n"},
+		{"zero bytes", hdr + `{"t0":0,"t1":1,"bytes":0,"fetch":0}` + "\n"},
+		{"huge exponent", hdr + `{"t0":0,"t1":1e999,"bytes":1,"fetch":0}` + "\n"},
+		{"non-monotonic", hdr +
+			`{"t0":0,"t1":2,"bytes":1,"fetch":0}` + "\n" +
+			`{"t0":1,"t1":3,"bytes":1,"fetch":0}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTrace(strings.NewReader(tc.in))
+			if !errors.Is(err, ErrInvalidTrace) {
+				t.Fatalf("ReadTrace = %v, want ErrInvalidTrace", err)
+			}
+		})
+	}
+}
+
+func TestReadTraceToleratesBlankTrailingLines(t *testing.T) {
+	in := `{"format":"videodvfs-bwtrace","version":1}` + "\n" +
+		`{"t0":0,"t1":1,"bytes":100,"fetch":0}` + "\n\n"
+	tr, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if len(tr.Samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(tr.Samples))
+	}
+}

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"videodvfs/internal/experiments"
+)
+
+// validTraceJSON is a minimal well-formed bw_trace payload: two fetches
+// whose tail rate sustains the run.
+const validTraceJSON = `[{"t0":0,"t1":0.5,"bytes":500000,"fetch":0},` +
+	`{"t0":0.7,"t1":1,"bytes":400000,"fetch":1}]`
+
+// TestNetKindDecodePaths pins the "trace" kind's enumeration through
+// every decode path of the service: run, sweep, and cohort bodies, the
+// unknown-net error envelope, and the catalog. A NetKind added to
+// experiments must surface consistently everywhere or this table breaks.
+func TestNetKindDecodePaths(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	type envelopeBody struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	cases := []struct {
+		name       string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string // envelope code for non-2xx
+		wantInMsg  string // substring of the envelope message
+	}{
+		{
+			name: "run trace with samples", path: "/v1/run",
+			body:       `{"net":"trace","bw_trace":` + validTraceJSON + `,"duration_s":1,"background":false}`,
+			wantStatus: http.StatusOK,
+		},
+		{
+			name: "run trace without samples", path: "/v1/run",
+			body:       `{"net":"trace","duration_s":1}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeInvalidConfig, wantInMsg: "requires a bandwidth trace",
+		},
+		{
+			name: "run samples without trace net", path: "/v1/run",
+			body:       `{"net":"wifi","bw_trace":` + validTraceJSON + `,"duration_s":1}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeInvalidConfig, wantInMsg: `not "trace"`,
+		},
+		{
+			name: "run unknown net lists trace", path: "/v1/run",
+			body:       `{"net":"5g"}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeInvalidConfig, wantInMsg: "trace",
+		},
+		{
+			name: "run invalid samples", path: "/v1/run",
+			body:       `{"net":"trace","bw_trace":[{"t0":2,"t1":1,"bytes":10,"fetch":0}],"duration_s":1}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeInvalidConfig, wantInMsg: "invalid bandwidth trace",
+		},
+		{
+			name: "sweep unknown net", path: "/v1/sweep",
+			body:       `{"base":{"duration_s":1},"nets":["wifi","5g"]}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeInvalidConfig, wantInMsg: "trace",
+		},
+		{
+			name: "sweep trace base with samples", path: "/v1/sweep",
+			body: `{"base":{"net":"trace","bw_trace":` + validTraceJSON +
+				`,"duration_s":1,"background":false},"seeds":[1,2]}`,
+			wantStatus: http.StatusOK,
+		},
+		{
+			name: "cohort unknown net", path: "/v1/cohort",
+			body:       `{"base":{"net":"5g"},"viewers":2}`,
+			wantStatus: http.StatusBadRequest,
+			wantCode:   CodeInvalidConfig, wantInMsg: "trace",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+tc.path, tc.body)
+			raw := readAll(t, resp)
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			if tc.wantCode == "" {
+				return
+			}
+			var env envelopeBody
+			if err := json.Unmarshal(raw, &env); err != nil {
+				t.Fatalf("error body is not the envelope: %v (%s)", err, raw)
+			}
+			if env.Error.Code != tc.wantCode {
+				t.Errorf("envelope code %q, want %q", env.Error.Code, tc.wantCode)
+			}
+			if !strings.Contains(env.Error.Message, tc.wantInMsg) {
+				t.Errorf("envelope message %q missing %q", env.Error.Message, tc.wantInMsg)
+			}
+		})
+	}
+
+	// The catalog, ParseNetKind's known-list, and NetKinds() must agree.
+	resp := mustGet(t, ts.URL+"/v1/catalog")
+	var cat struct {
+		Nets []string `json:"nets"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &cat); err != nil {
+		t.Fatal(err)
+	}
+	kinds := experiments.NetKinds()
+	if len(cat.Nets) != len(kinds) {
+		t.Fatalf("catalog nets %v, want %v", cat.Nets, kinds)
+	}
+	for i, k := range kinds {
+		if cat.Nets[i] != string(k) {
+			t.Fatalf("catalog nets %v, want %v", cat.Nets, kinds)
+		}
+		if _, err := experiments.ParseNetKind(string(k)); err != nil {
+			t.Fatalf("NetKinds entry %q rejected by ParseNetKind: %v", k, err)
+		}
+	}
+}
+
+// TestRunRequestBWTraceRoundTrip pins the wire form: a RunRequest with a
+// bw_trace decodes strictly and resolves to a config whose trace
+// content matches the samples.
+func TestRunRequestBWTraceRoundTrip(t *testing.T) {
+	body := `{"net":"trace","duration_s":1,"bw_trace":` + validTraceJSON + `}`
+	req, err := DecodeRunRequest(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		t.Fatalf("resolve: %v", err)
+	}
+	if cfg.Net != experiments.NetTrace || cfg.BWTrace == nil {
+		t.Fatalf("config net %q, trace %v", cfg.Net, cfg.BWTrace)
+	}
+	if n := len(cfg.BWTrace.Samples); n != 2 {
+		t.Fatalf("config trace has %d samples, want 2", n)
+	}
+	s := cfg.BWTrace.Samples[1]
+	if s.Start != 0.7 || s.End != 1 || s.Bytes != 400000 || s.Fetch != 1 {
+		t.Fatalf("sample 1 = %+v", s)
+	}
+	// Trace-backed configs are cacheable by content.
+	if _, ok := experiments.ConfigKey(cfg); !ok {
+		t.Fatal("trace-backed config reported uncacheable")
+	}
+}

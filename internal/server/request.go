@@ -9,6 +9,7 @@ import (
 	"videodvfs/internal/cohort"
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/experiments"
+	"videodvfs/internal/netsim"
 	"videodvfs/internal/sim"
 	"videodvfs/internal/video"
 )
@@ -38,8 +39,13 @@ type RunRequest struct {
 	// ABR selects the adaptation algorithm ("fixed", "rate", "bba").
 	ABR string `json:"abr,omitempty"`
 	// Net selects the bandwidth profile ("wifi", "const8", "lte",
-	// "umts").
+	// "umts", "trace").
 	Net string `json:"net,omitempty"`
+	// BWTrace is the recorded bandwidth trace replayed when Net is
+	// "trace" (required then, rejected otherwise) — the JSONL sample
+	// lines of a dvfsstress recording, inline. Trace-backed requests
+	// stay cacheable: the samples hash into the canonical config key.
+	BWTrace []BWSample `json:"bw_trace,omitempty"`
 	// DurationS is the content length in seconds (0 = 60).
 	DurationS float64 `json:"duration_s,omitempty"`
 	// Seed drives all stochastic inputs (0 = 1).
@@ -68,6 +74,17 @@ type RunRequest struct {
 	LowWaterSec float64 `json:"low_water_sec,omitempty"`
 	// Policy overrides individual energy-aware governor knobs.
 	Policy *PolicyRequest `json:"policy,omitempty"`
+}
+
+// BWSample is the wire form of one recorded bandwidth-trace chunk,
+// mirroring the JSONL trace format (netsim.TraceSample): [t0, t1) in
+// seconds on the recording's timeline, payload bytes, and the index of
+// the download the chunk belonged to.
+type BWSample struct {
+	T0    float64 `json:"t0"`
+	T1    float64 `json:"t1"`
+	Bytes float64 `json:"bytes"`
+	Fetch int     `json:"fetch"`
 }
 
 // PolicyRequest overrides individual fields of the energy-aware
@@ -130,6 +147,20 @@ func (r RunRequest) Config() (experiments.RunConfig, error) {
 			return cfg, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
 		}
 		cfg.Net = net
+	}
+	if len(r.BWTrace) > 0 {
+		tr := &netsim.Trace{Samples: make([]netsim.TraceSample, len(r.BWTrace))}
+		for i, s := range r.BWTrace {
+			tr.Samples[i] = netsim.TraceSample{
+				Start: sim.Time(s.T0),
+				End:   sim.Time(s.T1),
+				Bytes: s.Bytes,
+				Fetch: s.Fetch,
+			}
+		}
+		// Sample-level and net-consistency validation happen in
+		// cfg.Validate below, through the standard taxonomy.
+		cfg.BWTrace = tr
 	}
 	if r.DurationS != 0 {
 		cfg.Duration = sim.Time(r.DurationS) * sim.Second

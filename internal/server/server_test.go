@@ -705,7 +705,7 @@ func TestHealthAndCatalog(t *testing.T) {
 	if err := json.Unmarshal(readAll(t, resp), &cat); err != nil {
 		t.Fatal(err)
 	}
-	if len(cat.Devices) != 3 || len(cat.Governors) != 8 || len(cat.Nets) != 4 {
+	if len(cat.Devices) != 3 || len(cat.Governors) != 8 || len(cat.Nets) != 5 {
 		t.Fatalf("catalog incomplete: %+v", cat)
 	}
 
@@ -716,8 +716,8 @@ func TestHealthAndCatalog(t *testing.T) {
 	if err := json.Unmarshal(readAll(t, resp), &ids); err != nil {
 		t.Fatal(err)
 	}
-	if len(ids.IDs) != 28 {
-		t.Fatalf("experiment list has %d IDs, want 28", len(ids.IDs))
+	if len(ids.IDs) != 29 {
+		t.Fatalf("experiment list has %d IDs, want 29", len(ids.IDs))
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"videodvfs/internal/cpu"
 	"videodvfs/internal/experiments"
 	"videodvfs/internal/invariant"
+	"videodvfs/internal/netsim"
 	"videodvfs/internal/player"
 	"videodvfs/internal/sim"
 	"videodvfs/internal/trace"
@@ -67,6 +68,12 @@ type (
 	AxisStat = experiments.AxisStat
 	// Stream is an exact frame-by-frame video trace (RunConfig.Trace).
 	Stream = video.Stream
+	// BWTrace is a recorded bandwidth trace (RunConfig.BWTrace) replayed
+	// when Net is NetTrace; record one with the dvfsstress player-driver
+	// and load it with ReadBWTrace.
+	BWTrace = netsim.Trace
+	// BWSample is one contiguous delivery window of a BWTrace.
+	BWSample = netsim.TraceSample
 	// Governor is a typed governor identifier; see ParseGovernor.
 	Governor = experiments.GovernorID
 	// ABR is a typed adaptation-algorithm identifier; see ParseABR.
@@ -128,6 +135,8 @@ const (
 	NetUMTS = experiments.NetUMTS
 	// NetConst8 is a constant 8 Mbps link.
 	NetConst8 = experiments.NetConst8
+	// NetTrace replays a recorded bandwidth trace (RunConfig.BWTrace).
+	NetTrace = experiments.NetTrace
 )
 
 // Common time spans.
@@ -206,6 +215,14 @@ var (
 	// any simulation state was built.
 	ErrInvalidConfig = experiments.ErrInvalidConfig
 )
+
+// ReadBWTrace decodes a recorded bandwidth trace from its JSONL wire
+// form (dvfsstress play -out). The result validates before returning.
+func ReadBWTrace(r io.Reader) (BWTrace, error) { return netsim.ReadTrace(r) }
+
+// WriteBWTrace encodes a bandwidth trace in the canonical JSONL form:
+// encoding is byte-stable, so equal traces produce equal files.
+func WriteBWTrace(w io.Writer, t BWTrace) error { return netsim.WriteTrace(w, t) }
 
 // NewJSONLTracer returns a tracer serializing every event as one JSON
 // line on w, in a fixed key order so same-seed runs produce byte-identical
