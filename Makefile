@@ -51,10 +51,11 @@ fuzz-short:
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzRunConfigValidate$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzRunConfigInvariants$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/experiments -run '^$$' -fuzz '^FuzzSessionReset$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/player -run '^$$' -fuzz '^FuzzForecastSchedule$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDecodeRunRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/netsim -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime $(FUZZTIME)
 
-# Rebuild the full 29-experiment evaluation with the invariant checker
+# Rebuild the full 30-experiment evaluation with the invariant checker
 # riding every simulation (DESIGN.md §10). Exits non-zero on the first
 # conservation-law breach; output is discarded — the audit is the point.
 strict:
@@ -106,7 +107,7 @@ bench-gate:
 	$(GO) test -run '^$$' -bench '$(GATE_BENCH)' $(GATE_FLAGS) . | tee bench/current.txt
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt -current bench/current.txt -out bench/BENCH_6.json
 
-# Profile the full 29-experiment campaign; inspect with
+# Profile the full 30-experiment campaign; inspect with
 #   go tool pprof prof/exprun.cpu  (or .mem)
 profile:
 	@mkdir -p prof

@@ -51,6 +51,10 @@ func run(args []string) error {
 		seed         = fs.Int64("seed", 1, "random seed")
 		queueCap     = fs.Int("buffer", 0, "decoded-frame buffer depth (0 = default 8)")
 		lowWater     = fs.Float64("lowwater", 0, "burst-prefetch low-water mark in seconds (0 = trickle)")
+		forecastName = fs.String("forecast", "", "predictive prefetch: oracle, noisy (requires -lowwater)")
+		forecastLook = fs.Float64("forecast-lookahead", 0, "forecast lookahead window in seconds (0 = default)")
+		forecastErr  = fs.Float64("forecast-err", 0, "noisy forecast relative error (with -forecast noisy)")
+		forecastSeed = fs.Int64("forecast-seed", 0, "noisy forecast error seed (0 = run seed)")
 		fastDorm     = fs.Bool("fastdormancy", false, "release the radio immediately after each burst")
 		noBackground = fs.Bool("nobackground", false, "disable the UI/OS background load")
 		strict       = fs.Bool("strict", false, "audit the run against the simulator's invariants; any breach fails the run")
@@ -95,6 +99,12 @@ func run(args []string) error {
 	cfg.Seed = *seed
 	cfg.DecodedQueueCap = *queueCap
 	cfg.LowWaterSec = *lowWater
+	if cfg.Forecast, err = videodvfs.ParseForecast(*forecastName); err != nil {
+		return err
+	}
+	cfg.ForecastLookahead = videodvfs.Time(*forecastLook) * videodvfs.Second
+	cfg.ForecastRelErr = *forecastErr
+	cfg.ForecastSeed = *forecastSeed
 	cfg.Background = !*noBackground
 	cfg.Strict = *strict
 

@@ -7,12 +7,18 @@ package abr
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
 // State is the player-side observation an algorithm decides from.
 type State struct {
-	// ThroughputBps is the player's smoothed throughput estimate.
+	// ThroughputBps is the player's smoothed throughput estimate. Before
+	// the first segment completes the estimator is unwarmed and reports 0
+	// (the EWMA warm-up contract: Value is 0 until the first sample), so
+	// algorithms must treat a non-positive or non-finite value as cold
+	// start and never derive a rung index from it — the defined cold-start
+	// choice is the lowest rung.
 	ThroughputBps float64
 	// BufferSec is the media buffer level in seconds of content.
 	BufferSec float64
@@ -68,10 +74,17 @@ func NewRateBased() RateBased { return RateBased{Safety: 0.85} }
 // Name implements Algorithm.
 func (RateBased) Name() string { return "rate" }
 
-// NextRung implements Algorithm.
+// NextRung implements Algorithm. On cold start — an unwarmed (0), NaN, or
+// infinite throughput estimate — it returns the lowest rung explicitly:
+// the first segment's rung choice is defined by contract, not by whatever
+// 0×safety happens to compare as (and a spurious +Inf estimate must not
+// launch the session at the top rung).
 func (r RateBased) NextRung(s State) int {
 	if len(s.Rates) == 0 {
 		return 0
+	}
+	if !(s.ThroughputBps > 0) || math.IsInf(s.ThroughputBps, 0) {
+		return 0 // cold start or degenerate estimate
 	}
 	safety := r.Safety
 	if safety <= 0 || safety > 1 {
@@ -105,7 +118,9 @@ func NewBufferBased() BufferBased { return BufferBased{ReservoirSec: 5, CushionS
 // Name implements Algorithm.
 func (BufferBased) Name() string { return "bba" }
 
-// NextRung implements Algorithm.
+// NextRung implements Algorithm. BufferBased never reads the throughput
+// estimate, so the cold-start contract holds structurally: the first call
+// sees an empty buffer, lands in the reservoir branch, and returns rung 0.
 func (b BufferBased) NextRung(s State) int {
 	n := len(s.Rates)
 	if n == 0 {

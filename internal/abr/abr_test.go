@@ -1,6 +1,7 @@
 package abr
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -122,5 +123,33 @@ func TestAllAlgorithmsReturnValidRungs(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestColdStartContract audits every shipped algorithm against the
+// documented cold-start contract: with an unwarmed (0), NaN, or infinite
+// throughput estimate and an empty buffer — exactly the State the player
+// passes before the first segment completes — no algorithm may derive a
+// rung from the degenerate estimate. RateBased and BufferBased must return
+// the lowest rung; Fixed pins its configured rung by design.
+func TestColdStartContract(t *testing.T) {
+	rates := []float64{1e6, 2.5e6, 5e6, 8e6}
+	colds := []float64{0, math.NaN(), math.Inf(1), math.Inf(-1), -1e6}
+	for _, tput := range colds {
+		s := State{ThroughputBps: tput, BufferSec: 0, LastRung: -1, Rates: rates}
+		if got := NewRateBased().NextRung(s); got != 0 {
+			t.Errorf("RateBased cold start (tput=%v) = rung %d, want 0", tput, got)
+		}
+		if got := NewBufferBased().NextRung(s); got != 0 {
+			t.Errorf("BufferBased cold start (tput=%v) = rung %d, want 0", tput, got)
+		}
+		if got := (Fixed{Rung: 2}).NextRung(s); got != 2 {
+			t.Errorf("Fixed cold start (tput=%v) = rung %d, want its pinned 2", tput, got)
+		}
+	}
+	// The guard is cold-start-only: a warmed estimate still climbs.
+	warm := State{ThroughputBps: 10e6, BufferSec: 20, LastRung: 0, Rates: rates}
+	if got := NewRateBased().NextRung(warm); got != 3 {
+		t.Errorf("RateBased warm = rung %d, want 3", got)
 	}
 }

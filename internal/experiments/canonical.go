@@ -140,6 +140,13 @@ func CanonicalConfig(cfg RunConfig) ([]byte, bool) {
 	boo("background", cfg.Background)
 	dur("horizon", cfg.Horizon)
 	flt("fps", cfg.FPS)
+	// The noisy forecast is seeded and keyed per piece, so forecast-armed
+	// runs — noisy included — are deterministic functions of these fields
+	// and stay cacheable.
+	str("forecast", string(cfg.Forecast))
+	dur("forecast.lookahead", cfg.ForecastLookahead)
+	flt("forecast.relerr", cfg.ForecastRelErr)
+	num("forecast.seed", cfg.ForecastSeed)
 	return b, true
 }
 

@@ -103,9 +103,9 @@ func TestCanonicalConfigShape(t *testing.T) {
 	// 3 device header + 4 per OPP + 1 governor + 10 policy + 4 title +
 	// 3 rung + abr/net/bwtrace/rrc + duration/seed/bgseed/queuecap/
 	// lowwater + thermal + cstates/codec/lowlatency/segmentdur/
-	// background/horizon/fps.
+	// background/horizon/fps + 4 forecast.
 	opps := len(DefaultRunConfig().Device.OPPs)
-	want := 3 + 4*opps + 1 + 10 + 4 + 3 + 4 + 5 + 1 + 7
+	want := 3 + 4*opps + 1 + 10 + 4 + 3 + 4 + 5 + 1 + 7 + 4
 	if len(lines) != want {
 		t.Fatalf("canonical form has %d lines, want %d:\n%s", len(lines), want, b)
 	}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"videodvfs/internal/sim"
+)
+
+// TestRunForecastArmedButEqual pins the reactive-identity contract at the
+// Run level: on a constant link the oracle forecast has nothing to
+// exploit, so the armed run must reproduce the reactive run exactly —
+// same energies, same QoE, same radio residency, same fetch count.
+func TestRunForecastArmedButEqual(t *testing.T) {
+	base := DefaultRunConfig()
+	base.Net = NetConst8
+	base.Duration = 60 * sim.Second
+	base.LowWaterSec = 10
+
+	reactive, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := base
+	armed.Forecast = ForecastOracle
+	predictive, err := Run(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reactive, predictive) {
+		t.Fatalf("oracle over a constant link diverged from reactive:\nreactive   %+v\npredictive %+v",
+			reactive, predictive)
+	}
+}
+
+// TestRunForecastChangesScheduleOnFadingLink guards against the forecast
+// axis silently not being wired through: on a fading link the predictive
+// scheduler must actually change the radio timeline.
+func TestRunForecastChangesScheduleOnFadingLink(t *testing.T) {
+	base := DefaultRunConfig()
+	base.Net = NetLTE
+	base.Duration = 60 * sim.Second
+	base.LowWaterSec = 10
+
+	reactive, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := base
+	armed.Forecast = ForecastOracle
+	predictive, err := Run(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(reactive.RadioResidency, predictive.RadioResidency) {
+		t.Fatalf("oracle on a fading link left the radio timeline untouched: %+v",
+			reactive.RadioResidency)
+	}
+}
+
+// TestRunConfigForecastValidation pins the config-level contract for the
+// forecast axis.
+func TestRunConfigForecastValidation(t *testing.T) {
+	cases := map[string]func(*RunConfig){
+		"unknown kind":         func(c *RunConfig) { c.Forecast = "psychic" },
+		"no low water":         func(c *RunConfig) { c.Forecast = ForecastOracle; c.LowWaterSec = 0 },
+		"params without kind":  func(c *RunConfig) { c.ForecastLookahead = 5 * sim.Second },
+		"seed without kind":    func(c *RunConfig) { c.ForecastSeed = 7 },
+		"relerr without noisy": func(c *RunConfig) { c.Forecast = ForecastOracle; c.LowWaterSec = 10; c.ForecastRelErr = 0.2 },
+		"negative relerr":      func(c *RunConfig) { c.Forecast = ForecastNoisy; c.LowWaterSec = 10; c.ForecastRelErr = -0.1 },
+		"infinite lookahead":   func(c *RunConfig) { c.Forecast = ForecastOracle; c.LowWaterSec = 10; c.ForecastLookahead = sim.Forever },
+		"negative lookahead":   func(c *RunConfig) { c.Forecast = ForecastOracle; c.LowWaterSec = 10; c.ForecastLookahead = -sim.Second },
+	}
+	for name, mutate := range cases {
+		cfg := DefaultRunConfig()
+		mutate(&cfg)
+		if _, err := Run(cfg); !errors.Is(err, ErrInvalidConfig) {
+			t.Errorf("%s: error %v, want ErrInvalidConfig", name, err)
+		}
+	}
+	ok := DefaultRunConfig()
+	ok.Forecast = ForecastNoisy
+	ok.LowWaterSec = 10
+	ok.ForecastRelErr = 0.3
+	ok.Duration = 5 * sim.Second
+	if _, err := Run(ok); err != nil {
+		t.Fatalf("valid noisy config rejected: %v", err)
+	}
+}
+
+// TestForecastConfigsCacheable pins cacheability: noisy forecasts are
+// seeded and keyed per piece, so forecast-armed configs keep their
+// content-addressed identity — and every forecast field separates keys.
+func TestForecastConfigsCacheable(t *testing.T) {
+	base := DefaultRunConfig()
+	base.LowWaterSec = 10
+	base.Forecast = ForecastNoisy
+	base.ForecastRelErr = 0.2
+	k0, ok := ConfigKey(base)
+	if !ok {
+		t.Fatal("noisy forecast config reported uncacheable")
+	}
+	mutations := map[string]func(*RunConfig){
+		"kind":      func(c *RunConfig) { c.Forecast = ForecastOracle; c.ForecastRelErr = 0 },
+		"lookahead": func(c *RunConfig) { c.ForecastLookahead = 30 * sim.Second },
+		"relerr":    func(c *RunConfig) { c.ForecastRelErr = 0.4 },
+		"seed":      func(c *RunConfig) { c.ForecastSeed = 9 },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		k, ok := ConfigKey(cfg)
+		if !ok {
+			t.Fatalf("%s: mutated forecast config uncacheable", name)
+		}
+		if k == k0 {
+			t.Errorf("%s: forecast field does not separate cache keys", name)
+		}
+	}
+}
+
+// TestParseForecastKind pins the typed-ID parser.
+func TestParseForecastKind(t *testing.T) {
+	if k, err := ParseForecastKind(""); err != nil || k != ForecastNone {
+		t.Fatalf("empty name: %v/%v, want ForecastNone", k, err)
+	}
+	for _, k := range ForecastKinds() {
+		got, err := ParseForecastKind(string(k))
+		if err != nil || got != k {
+			t.Fatalf("round-trip %q: %v/%v", k, got, err)
+		}
+	}
+	if _, err := ParseForecastKind("psychic"); !errors.Is(err, ErrUnknownForecast) {
+		t.Fatalf("unknown kind: %v, want ErrUnknownForecast", err)
+	}
+}

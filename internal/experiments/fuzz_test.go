@@ -119,13 +119,19 @@ func FuzzRunConfigInvariants(f *testing.F) {
 	for i, dev := 0, len(cpu.Devices()); i < dev; i++ {
 		for j, nets := 0, []NetKind{NetConst8, NetLTE, NetUMTS}; j < len(nets); j++ {
 			f.Add(i, (i+j)%3, 0, j, int64(3000), int64(1+i*3+j),
-				0, 0.0, int64(0), 0.0, (i+j)%2 == 0, false, true)
+				0, 0.0, int64(0), 0.0, (i+j)%2 == 0, false, true,
+				0, 0.0, 0.0, int64(0))
 		}
 	}
 	// Hand-picked corners: low-latency ladder ABR, burst prefetch,
-	// fractional fps, sub-second segments.
-	f.Add(0, 0, 2, 1, int64(4500), int64(99), 3, 2.5, int64(800), 25.0, true, true, true)
-	f.Add(2, 1, 1, 2, int64(900), int64(-7), 16, 0.5, int64(250), 23.976, false, true, false)
+	// fractional fps, sub-second segments — and the forecast axis in all
+	// three kinds (reactive, oracle, noisy) over fading links.
+	f.Add(0, 0, 2, 1, int64(4500), int64(99), 3, 2.5, int64(800), 25.0, true, true, true,
+		0, 0.0, 0.0, int64(0))
+	f.Add(2, 1, 1, 2, int64(900), int64(-7), 16, 0.5, int64(250), 23.976, false, true, false,
+		1, 10.0, 0.0, int64(0))
+	f.Add(1, 2, 0, 2, int64(4000), int64(11), 8, 3.5, int64(1000), 30.0, false, false, true,
+		2, 20.0, 0.3, int64(42))
 	govs := GovernorIDs()
 	abrs := ABRIDs()
 	nets := NetKinds()
@@ -133,8 +139,10 @@ func FuzzRunConfigInvariants(f *testing.F) {
 	devices := cpu.Devices()
 	f.Fuzz(func(t *testing.T, devI, govI, abrI, netI int, durMs, seed int64,
 		queueCap int, lowWater float64, segMs int64, fps float64,
-		cstates, lowlat, bg bool) {
+		cstates, lowlat, bg bool,
+		fcI int, fcLookS, fcRelErr float64, fcSeed int64) {
 		pick := func(i, n int) int { return ((i % n) + n) % n }
+		fcKinds := []ForecastKind{ForecastNone, ForecastOracle, ForecastNoisy}
 		cfg := RunConfig{
 			Device:   devices[pick(devI, len(devices))],
 			Governor: govs[pick(govI, len(govs))],
@@ -156,6 +164,17 @@ func FuzzRunConfigInvariants(f *testing.F) {
 			LowLatency:      lowlat,
 			Background:      bg,
 			Strict:          true,
+		}
+		// The forecast axis: kind from the registry, lookahead/relerr/seed
+		// raw enough to reach Validate's rejections and the noisy model's
+		// clamps alike.
+		cfg.Forecast = fcKinds[pick(fcI, len(fcKinds))]
+		if cfg.Forecast != ForecastNone {
+			cfg.ForecastLookahead = sim.Time(fcLookS) * sim.Second
+			cfg.ForecastSeed = fcSeed
+			if cfg.Forecast == ForecastNoisy {
+				cfg.ForecastRelErr = fcRelErr
+			}
 		}
 		if cfg.Net == NetTrace {
 			// The trace backend needs sample data; a fixed two-fetch trace

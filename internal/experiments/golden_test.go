@@ -25,7 +25,7 @@ func goldenPath(id string) string {
 // an intended model change (rerun with -update and review the diff) or a
 // regression (fix it). The builders execute through the campaign pool, so
 // this suite also re-proves on every CI run that parallel execution
-// leaves all 29 tables byte-identical.
+// leaves all 30 tables byte-identical.
 func TestGoldenTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden suite rebuilds the full evaluation")

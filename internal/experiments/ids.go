@@ -138,4 +138,46 @@ func ParseNetKind(name string) (NetKind, error) {
 	return "", fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownNet, name, NetKinds())
 }
 
+// ForecastKind is a typed bandwidth-forecast identifier. The empty string
+// (ForecastNone) disables the predictive scheduler — the player keeps the
+// reactive low-water burst trigger; use ParseForecastKind to validate
+// untrusted strings.
+type ForecastKind string
+
+// Built-in forecast models.
+const (
+	// ForecastNone disables forecasting (reactive low-water trigger).
+	ForecastNone ForecastKind = ""
+	// ForecastOracle is the perfect forecast: it probes the run's own
+	// bandwidth model ahead of time, so predictions are exactly the rates
+	// the downloader will see.
+	ForecastOracle ForecastKind = "oracle"
+	// ForecastNoisy is the oracle degraded by seeded multiplicative error
+	// (RunConfig.ForecastRelErr); deterministic, so still cacheable.
+	ForecastNoisy ForecastKind = "noisy"
+)
+
+// ErrUnknownForecast reports a forecast name outside ForecastKinds();
+// distinguish it with errors.Is.
+var ErrUnknownForecast = errors.New("unknown forecast kind")
+
+// ForecastKinds returns every non-empty forecast kind Run accepts, in
+// report order.
+func ForecastKinds() []ForecastKind { return []ForecastKind{ForecastOracle, ForecastNoisy} }
+
+// String returns the forecast name, mirroring the other typed IDs.
+func (k ForecastKind) String() string { return string(k) }
+
+// ParseForecastKind validates a forecast name from an untrusted source.
+// The empty string parses as ForecastNone — forecasting off, the Run
+// default — and unknown names return an error matching ErrUnknownForecast.
+func ParseForecastKind(name string) (ForecastKind, error) {
+	switch ForecastKind(name) {
+	case ForecastNone, ForecastOracle, ForecastNoisy:
+		// Fast path mirroring ParseGovernorID: keep Validate allocation-free.
+		return ForecastKind(name), nil
+	}
+	return "", fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownForecast, name, ForecastKinds())
+}
+
 var _ = abr.Names // the ABR registry itself lives in internal/abr

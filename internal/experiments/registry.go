@@ -40,6 +40,7 @@ var registry = map[string]Builder{
 	"f21": FigF21,
 	"t7":  TableT7,
 	"t8":  TableT8,
+	"t9":  TableT9,
 }
 
 // IDs returns all experiment IDs in report order.
@@ -47,7 +48,7 @@ func IDs() []string {
 	order := map[string]int{
 		"t1": 0, "f1": 1, "f2": 2, "f3": 3, "f4": 4, "f5": 5, "f6": 6,
 		"t2": 7, "f7": 8, "f8": 9, "f9": 10, "f10": 11, "f11": 12,
-		"f12": 13, "t3": 14, "f13": 15, "f14": 16, "f15": 17, "f16": 18, "f17": 19, "f18": 20, "f19": 21, "t4": 22, "t5": 23, "t6": 24, "f20": 25, "f21": 26, "t7": 27, "t8": 28,
+		"f12": 13, "t3": 14, "f13": 15, "f14": 16, "f15": 17, "f16": 18, "f17": 19, "f18": 20, "f19": 21, "t4": 22, "t5": 23, "t6": 24, "f20": 25, "f21": 26, "t7": 27, "t8": 28, "t9": 29,
 	}
 	out := make([]string, 0, len(registry))
 	for id := range registry {

@@ -97,6 +97,23 @@ type RunConfig struct {
 	// LowWaterSec enables the player's burst-prefetch hysteresis (see
 	// player.Config.LowWaterSec).
 	LowWaterSec float64
+	// Forecast arms the predictive download scheduler: the player replaces
+	// the blind low-water burst trigger with a forecast scan that races
+	// bursts into predicted good-channel windows and defers through fades
+	// the buffer can ride out. Requires LowWaterSec > 0. Convert untrusted
+	// strings with ParseForecastKind; "" keeps the reactive trigger.
+	Forecast ForecastKind
+	// ForecastLookahead is how far ahead the forecast sees (0 = 20 s when
+	// a forecast is armed).
+	ForecastLookahead sim.Time
+	// ForecastRelErr is the noisy forecast's relative error — the CV of
+	// the per-piece lognormal rate multiplier. Only meaningful (and only
+	// accepted) with ForecastNoisy; 0 there reproduces the oracle.
+	ForecastRelErr float64
+	// ForecastSeed reseeds only the noisy forecast's error draw; 0 derives
+	// it from Seed. The noise is keyed per forecast piece, so runs stay
+	// deterministic and cacheable.
+	ForecastSeed int64
 	// Thermal, if set, attaches the RC thermal model + throttler.
 	Thermal *cpu.ThermalConfig
 	// CStates enables the cpuidle model (menu governor over the default
@@ -267,6 +284,35 @@ func (cfg RunConfig) Validate() error {
 		return fmt.Errorf("experiments: %w: segment duration %v not finite and non-negative",
 			ErrInvalidConfig, cfg.SegmentDur)
 	}
+	if _, err := ParseForecastKind(string(cfg.Forecast)); err != nil {
+		return fmt.Errorf("experiments: %w: %w", ErrInvalidConfig, err)
+	}
+	if cfg.Forecast != ForecastNone {
+		// The predictive scheduler decides *when bursts start*; without the
+		// burst hysteresis there is no burst structure to schedule, so a
+		// forecast with LowWaterSec 0 is a contradiction, not a no-op.
+		if cfg.LowWaterSec <= 0 {
+			return fmt.Errorf("experiments: %w: forecast %q requires a positive low-water mark",
+				ErrInvalidConfig, cfg.Forecast)
+		}
+		if math.IsNaN(float64(cfg.ForecastLookahead)) || math.IsInf(float64(cfg.ForecastLookahead), 0) ||
+			cfg.ForecastLookahead < 0 || cfg.ForecastLookahead >= sim.Forever {
+			return fmt.Errorf("experiments: %w: forecast lookahead %v not a finite non-negative duration",
+				ErrInvalidConfig, cfg.ForecastLookahead)
+		}
+	} else if cfg.ForecastLookahead != 0 || cfg.ForecastRelErr != 0 || cfg.ForecastSeed != 0 {
+		return fmt.Errorf("experiments: %w: forecast parameters set but no forecast kind selected",
+			ErrInvalidConfig)
+	}
+	if cfg.Forecast == ForecastNoisy {
+		if math.IsNaN(cfg.ForecastRelErr) || math.IsInf(cfg.ForecastRelErr, 0) || cfg.ForecastRelErr < 0 {
+			return fmt.Errorf("experiments: %w: forecast error %v not a finite non-negative CV",
+				ErrInvalidConfig, cfg.ForecastRelErr)
+		}
+	} else if cfg.ForecastRelErr != 0 {
+		return fmt.Errorf("experiments: %w: forecast error is only meaningful for the %q forecast",
+			ErrInvalidConfig, ForecastNoisy)
+	}
 	// Found by FuzzRunConfigInvariants: a duration×fps product below one
 	// frame generated an empty stream that only failed deep inside the
 	// player ("cannot segmentize empty stream") instead of up front.
@@ -396,6 +442,33 @@ func buildBandwidthBase(cfg RunConfig) (netsim.Bandwidth, netsim.RRCConfig, erro
 		return nil, rrc, fmt.Errorf("experiments: unknown network kind %q", cfg.Net)
 	}
 	return bw, rrc, nil
+}
+
+// buildForecast resolves the run's bandwidth forecast over the resolved
+// bandwidth model bw — the same value the downloader integrates, so the
+// oracle's predictions are exactly the rates the run will observe. Returns
+// nil when forecasting is off.
+func buildForecast(cfg RunConfig, bw netsim.Bandwidth) (player.Forecast, error) {
+	if cfg.Forecast == ForecastNone {
+		return nil, nil
+	}
+	lookahead := cfg.ForecastLookahead
+	if lookahead == 0 {
+		lookahead = 20 * sim.Second
+	}
+	oracle := netsim.Oracle{BW: bw, Lookahead: lookahead}
+	switch cfg.Forecast {
+	case ForecastOracle:
+		return oracle, nil
+	case ForecastNoisy:
+		seed := cfg.ForecastSeed
+		if seed == 0 {
+			seed = sim.ChildSeed(cfg.Seed, "forecast")
+		}
+		return netsim.NewNoisy(oracle, cfg.ForecastRelErr, seed)
+	default:
+		return nil, fmt.Errorf("experiments: %w %q (known: %v)", ErrUnknownForecast, cfg.Forecast, ForecastKinds())
+	}
 }
 
 // streamKey identifies one deterministic rendition-set request. Generation

@@ -277,10 +277,10 @@ func TestGetUnknownExperiment(t *testing.T) {
 
 func TestIDsStableOrder(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 29 {
-		t.Fatalf("got %d experiments, want 29", len(ids))
+	if len(ids) != 30 {
+		t.Fatalf("got %d experiments, want 30", len(ids))
 	}
-	if ids[0] != "t1" || ids[len(ids)-1] != "t8" {
+	if ids[0] != "t1" || ids[len(ids)-1] != "t9" {
 		t.Fatalf("order wrong: %v", ids)
 	}
 }

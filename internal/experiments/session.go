@@ -323,6 +323,11 @@ func (s *Session) Reset(cfg RunConfig) (err error) {
 		pcfg.DecodedQueueCap = cfg.DecodedQueueCap
 	}
 	pcfg.LowWaterSec = cfg.LowWaterSec
+	fc, err := buildForecast(cfg, bw)
+	if err != nil {
+		return err
+	}
+	pcfg.Forecast = fc
 	if s.ps == nil {
 		s.ps, err = player.NewSession(s.eng, s.core, s.dl, renditions, pcfg)
 		if err != nil {

@@ -235,6 +235,14 @@ func NewViewer(eng *sim.Engine, cfg RunConfig, opts ViewerOptions) (*Viewer, err
 		pcfg.DecodedQueueCap = cfg.DecodedQueueCap
 	}
 	pcfg.LowWaterSec = cfg.LowWaterSec
+	// The forecast observes the wrapped bandwidth — the cell-congested
+	// view this viewer's downloader actually integrates — so cohort
+	// oracles predict contended rates, not the pristine sector input.
+	fc, err := buildForecast(cfg, bw)
+	if err != nil {
+		return nil, err
+	}
+	pcfg.Forecast = fc
 	v.ps, err = player.NewSession(eng, v.core, v.dl, renditions, pcfg)
 	if err != nil {
 		return nil, err

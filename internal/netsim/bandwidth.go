@@ -7,6 +7,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"videodvfs/internal/sim"
@@ -78,8 +79,17 @@ func (s Steps) Rate(now sim.Time) (float64, sim.Time) {
 	t := now
 	var base sim.Time
 	if s.Cycle > 0 {
-		cycles := int(now / s.Cycle)
-		base = sim.Time(cycles) * s.Cycle
+		// math.Floor, not int truncation: a conversion through int is
+		// undefined for values outside int's range (huge now / tiny cycle)
+		// and truncates toward zero for negative quotients. Renormalize so
+		// t lands in [0, Cycle) even when the division or multiplication
+		// rounded across a boundary.
+		base = sim.Time(math.Floor(float64(now/s.Cycle))) * s.Cycle
+		if now-base >= s.Cycle {
+			base += s.Cycle
+		} else if now < base {
+			base -= s.Cycle
+		}
 		t = now - base
 	}
 	// Find the step active at t.
@@ -97,8 +107,29 @@ func (s Steps) Rate(now sim.Time) (float64, sim.Time) {
 		return rate, sim.Forever
 	}
 	if until <= now {
-		// Guard against boundary rounding: hold for a microsecond.
-		until = now + sim.Microsecond
+		// Float-edge collapse: base + boundary rounded onto (or under) now,
+		// so the query instant already belongs to the next piece. Advance
+		// one piece and answer with its rate instead of holding the stale
+		// one — the old microsecond hold reported the previous cycle's last
+		// rate for 1µs at exact cycle boundaries.
+		i++
+		if i >= len(s.Trace) {
+			i = 0
+			base += s.Cycle
+		}
+		rate = s.Trace[i].Bps
+		if i+1 < len(s.Trace) {
+			until = base + s.Trace[i+1].Start
+		} else if s.Cycle > 0 {
+			until = base + s.Cycle
+		} else {
+			return rate, sim.Forever
+		}
+		if until <= now {
+			// Pathological scale (cycle below float resolution at now):
+			// the rate is current, and the horizon still must advance.
+			until = now + sim.Microsecond
+		}
 	}
 	return rate, until
 }

@@ -114,6 +114,15 @@ type Config struct {
 	// jobs every 20 ms totalling this cycle rate (AAC software decode is
 	// ≈10–20 M cycles/s). Zero disables audio.
 	AudioCyclesPerSec float64
+	// Forecast, when set, replaces the blind low-water burst trigger with
+	// the predictive scheduler: instead of starting the refill exactly when
+	// the buffer drains to LowWaterSec, the session scans the forecast for
+	// the cheapest start that still meets the buffer deadline — racing
+	// bursts into predicted good-channel windows and deferring through
+	// fades the buffer can ride out. Requires LowWaterSec > 0 (the burst
+	// structure the scheduler decides within). netsim.Oracle and
+	// netsim.Noisy implement it.
+	Forecast Forecast
 	// Hooks receives governor callbacks; nil for baseline governors.
 	Hooks SessionHooks
 	// Meter, if set, receives display power.
@@ -167,6 +176,14 @@ func (c Config) Validate() error {
 	}
 	if c.AudioCyclesPerSec < 0 {
 		return fmt.Errorf("player: negative audio load")
+	}
+	if c.Forecast != nil {
+		if c.LowWaterSec <= 0 {
+			return fmt.Errorf("player: forecast scheduling requires a positive low-water mark (burst hysteresis)")
+		}
+		if h := c.Forecast.Horizon(); !(h > 0 && h < sim.Forever) {
+			return fmt.Errorf("player: forecast horizon %v not a positive finite duration", h)
+		}
 	}
 	return nil
 }

@@ -33,11 +33,15 @@ type Session struct {
 	renditions []*video.Stream
 	segments   [][]video.Segment
 	rates      []float64
-	// segSrc/segDur record which stream (by pointer) and segment duration
+	// segSrc/segDurs record which stream (by pointer) and segment duration
 	// each segments entry was computed from, so Reset can keep segment
 	// tables when a recycled session replays the same immutable streams.
+	// The duration stamp is per rendition, not session-wide: the rendition
+	// count can shrink and grow back across resets, and a stale entry
+	// resurfacing from the slice's backing array must not pass the check
+	// on the strength of a stamp some other rendition earned.
 	segSrc  []*video.Stream
-	segDur  sim.Time
+	segDurs []sim.Time
 	fps     float64
 	numSegs int
 	total   int
@@ -48,7 +52,8 @@ type Session struct {
 	nextSeg   int
 	lastRung  int
 	fetching  bool
-	draining  bool // burst mode: waiting for the buffer to hit low water
+	draining  bool      // burst mode: waiting for the buffer to hit low water
+	planSeg   []float64 // scratch for the predictive planner's segment sizes
 	tput      *stats.EWMA
 	bitsSum   float64
 	segsSum   int
@@ -156,14 +161,16 @@ func (s *Session) configure(renditions []*video.Stream, cfg Config) error {
 		s.rates = make([]float64, len(renditions))
 		s.segments = make([][]video.Segment, len(renditions))
 		s.segSrc = make([]*video.Stream, len(renditions))
+		s.segDurs = make([]sim.Time, len(renditions))
 	} else {
 		s.rates = s.rates[:len(renditions)]
 		s.segments = s.segments[:len(renditions)]
 		s.segSrc = s.segSrc[:len(renditions)]
+		s.segDurs = s.segDurs[:len(renditions)]
 	}
 	for i, r := range renditions {
 		s.rates[i] = r.Spec.BitrateBps
-		if s.segSrc[i] == r && s.segDur == cfg.SegmentDur {
+		if s.segSrc[i] == r && s.segDurs[i] == cfg.SegmentDur {
 			continue
 		}
 		segs, err := video.Segmentize(r, cfg.SegmentDur)
@@ -173,8 +180,8 @@ func (s *Session) configure(renditions []*video.Stream, cfg Config) error {
 		}
 		s.segments[i] = segs
 		s.segSrc[i] = r
+		s.segDurs[i] = cfg.SegmentDur
 	}
-	s.segDur = cfg.SegmentDur
 	s.numSegs = len(s.segments[0])
 	return nil
 }
@@ -297,7 +304,11 @@ func (s *Session) maybeFetch() {
 		return // re-entered from display ticks as the buffer drains
 	}
 	if s.draining {
-		if s.BufferSec() > s.cfg.LowWaterSec {
+		if s.cfg.Forecast != nil {
+			if !s.shouldStartBurst() {
+				return // predictive defer: re-evaluated every display tick
+			}
+		} else if s.BufferSec() > s.cfg.LowWaterSec {
 			return // hysteresis: let the radio sleep until low water
 		}
 		s.draining = false
@@ -409,6 +420,12 @@ func (s *Session) tick() {
 		s.stallStart = s.eng.Now()
 		s.metrics.RebufferCount++
 		s.hooks.PlaybackState(s.eng.Now(), false)
+		// Re-arm the fetch pipeline: a predictive deferral that rode the
+		// buffer to dry has no fetch in flight and no further ticks to
+		// re-evaluate at — stalled sessions always fetch immediately. On
+		// the reactive path this is a no-op (a stall with segments left
+		// always has a fetch outstanding), so schedules are unchanged.
+		s.maybeFetch()
 		return
 	}
 	// Downloaded but not decoded in time: drop the slot.

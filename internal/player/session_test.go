@@ -375,3 +375,101 @@ func TestSessionAudioConfigValidation(t *testing.T) {
 		t.Fatal("want error for negative audio load")
 	}
 }
+
+// recordingABR captures every State the session feeds the ABR, delegating
+// the decision to the wrapped algorithm.
+type recordingABR struct {
+	abr.Algorithm
+	states []abr.State
+	rungs  []int
+}
+
+func (r *recordingABR) NextRung(s abr.State) int {
+	st := s
+	st.Rates = append([]float64(nil), s.Rates...)
+	r.states = append(r.states, st)
+	rung := r.Algorithm.NextRung(s)
+	r.rungs = append(r.rungs, rung)
+	return rung
+}
+
+// TestSessionFirstSegmentColdStartRung is the regression for the ABR
+// cold-start bug: the session's first NextRung call feeds the throughput
+// EWMA before any sample warmed it, so the estimate is exactly 0 and the
+// rate-based ABR must pick rung 0 by the documented cold-start contract —
+// never a rung derived from the degenerate estimate.
+func TestSessionFirstSegmentColdStartRung(t *testing.T) {
+	eng, core := singleOPPCore(t, 1e9)
+	ladder := []*video.Stream{
+		flatStream(30, 10, 1e6, 1e6),
+		flatStream(30, 10, 4e6, 1e6),
+		flatStream(30, 10, 8e6, 1e6),
+	}
+	rec := &recordingABR{Algorithm: abr.NewRateBased()}
+	cfg := DefaultConfig()
+	cfg.ABR = rec
+	fet := &fakeFetcher{eng: eng, bps: 50e6} // plenty for the top rung once warmed
+	s, err := NewSession(eng, core, fet, ladder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	eng.RunUntil(10 * sim.Minute)
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if len(rec.states) == 0 {
+		t.Fatal("ABR never consulted")
+	}
+	if got := rec.states[0].ThroughputBps; got != 0 {
+		t.Fatalf("first NextRung saw throughput %v, want the unwarmed EWMA's 0", got)
+	}
+	if rec.rungs[0] != 0 {
+		t.Fatalf("first segment fetched at rung %d, want the cold-start rung 0", rec.rungs[0])
+	}
+	// Once the estimator warms, the fast link carries the ABR upward.
+	if last := rec.rungs[len(rec.rungs)-1]; last != 2 {
+		t.Fatalf("warmed ABR ended at rung %d, want 2", last)
+	}
+}
+
+// TestResetSegmentTableNoResurrection guards the segment-table memoization
+// against stale entries resurfacing from the slices' backing arrays. A
+// recycled session that shrinks its rendition set (re-slicing segments and
+// segSrc down) and later grows it back can see the old entries again; if
+// the segment duration changed in between, those entries hold tables cut
+// at the old duration and must be rebuilt, not reused. With a session-wide
+// duration stamp the stale entries passed the check, leaving
+// len(segments[rung]) < numSegs and an index-out-of-range panic the first
+// time the ABR climbed to that rung.
+func TestResetSegmentTableNoResurrection(t *testing.T) {
+	eng, core := singleOPPCore(t, 1e9)
+	ladder := []*video.Stream{
+		flatStream(30, 12, 1e6, 1e6),
+		flatStream(30, 12, 2e6, 1e6),
+		flatStream(30, 12, 4e6, 1e6),
+	}
+	fet := &fakeFetcher{eng: eng, bps: 50e6}
+
+	cfg := DefaultConfig()
+	cfg.SegmentDur = 2 * sim.Second
+	s, err := NewSession(eng, core, fet, ladder, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink to one rendition at a shorter segment duration...
+	cfg.SegmentDur = 1 * sim.Second
+	if err := s.Reset(ladder[:1], cfg); err != nil {
+		t.Fatal(err)
+	}
+	// ...then grow back: rungs 1 and 2 reappear from the backing array
+	// with 2 s tables and must be re-cut at 1 s.
+	if err := s.Reset(ladder, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.segments {
+		if got := len(s.segments[i]); got != s.numSegs {
+			t.Fatalf("rung %d has %d segments, want %d: stale table resurrected across Reset", i, got, s.numSegs)
+		}
+	}
+}

@@ -72,6 +72,17 @@ type RunRequest struct {
 	DecodedQueueCap int `json:"decoded_queue_cap,omitempty"`
 	// LowWaterSec enables the player's burst-prefetch hysteresis.
 	LowWaterSec float64 `json:"low_water_sec,omitempty"`
+	// Forecast arms the predictive download scheduler ("oracle",
+	// "noisy"); requires LowWaterSec.
+	Forecast string `json:"forecast,omitempty"`
+	// ForecastLookaheadS is the forecast lookahead window in seconds
+	// (0 = the library default).
+	ForecastLookaheadS float64 `json:"forecast_lookahead_s,omitempty"`
+	// ForecastRelErr is the noisy forecast's relative error (noisy only).
+	ForecastRelErr float64 `json:"forecast_rel_err,omitempty"`
+	// ForecastSeed perturbs the noisy forecast's error draw
+	// (0 = the run seed's stream).
+	ForecastSeed int64 `json:"forecast_seed,omitempty"`
 	// Policy overrides individual energy-aware governor knobs.
 	Policy *PolicyRequest `json:"policy,omitempty"`
 }
@@ -187,6 +198,18 @@ func (r RunRequest) Config() (experiments.RunConfig, error) {
 	}
 	cfg.DecodedQueueCap = r.DecodedQueueCap
 	cfg.LowWaterSec = r.LowWaterSec
+	if r.Forecast != "" {
+		fc, err := experiments.ParseForecastKind(r.Forecast)
+		if err != nil {
+			return cfg, fmt.Errorf("server: %w: %w", experiments.ErrInvalidConfig, err)
+		}
+		cfg.Forecast = fc
+	}
+	if r.ForecastLookaheadS != 0 {
+		cfg.ForecastLookahead = sim.Time(r.ForecastLookaheadS) * sim.Second
+	}
+	cfg.ForecastRelErr = r.ForecastRelErr
+	cfg.ForecastSeed = r.ForecastSeed
 	if p := r.Policy; p != nil {
 		if p.Margin != nil {
 			cfg.Policy.Margin = *p.Margin

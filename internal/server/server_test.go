@@ -716,8 +716,8 @@ func TestHealthAndCatalog(t *testing.T) {
 	if err := json.Unmarshal(readAll(t, resp), &ids); err != nil {
 		t.Fatal(err)
 	}
-	if len(ids.IDs) != 29 {
-		t.Fatalf("experiment list has %d IDs, want 29", len(ids.IDs))
+	if len(ids.IDs) != 30 {
+		t.Fatalf("experiment list has %d IDs, want 30", len(ids.IDs))
 	}
 }
 

@@ -65,6 +65,28 @@ func WithLowLatency() Option { return func(c *RunConfig) { c.LowLatency = true }
 // WithBackground toggles the UI/OS background load generator.
 func WithBackground(on bool) Option { return func(c *RunConfig) { c.Background = on } }
 
+// WithLowWater enables the player's burst-prefetch hysteresis: fetches
+// pause above the high-water buffer mark and resume in a burst below
+// this low-water mark, letting the radio sleep between bursts.
+func WithLowWater(sec float64) Option { return func(c *RunConfig) { c.LowWaterSec = sec } }
+
+// WithForecast arms the predictive download scheduler with the given
+// bandwidth-forecast kind (ForecastOracle, ForecastNoisy). Requires
+// WithLowWater; ForecastNone keeps the reactive trigger.
+func WithForecast(k ForecastKind) Option { return func(c *RunConfig) { c.Forecast = k } }
+
+// WithForecastLookahead sets the forecast's lookahead window (0 = the
+// library default).
+func WithForecastLookahead(h Time) Option { return func(c *RunConfig) { c.ForecastLookahead = h } }
+
+// WithForecastError sets the noisy forecast's relative error (noisy
+// kind only).
+func WithForecastError(rel float64) Option { return func(c *RunConfig) { c.ForecastRelErr = rel } }
+
+// WithForecastSeed perturbs the noisy forecast's error draw
+// independently of the run seed.
+func WithForecastSeed(seed int64) Option { return func(c *RunConfig) { c.ForecastSeed = seed } }
+
 // WithFrameTrace replays an exact frame stream instead of generating one.
 func WithFrameTrace(s *Stream) Option { return func(c *RunConfig) { c.Trace = s } }
 

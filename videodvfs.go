@@ -76,6 +76,9 @@ type (
 	BWSample = netsim.TraceSample
 	// Governor is a typed governor identifier; see ParseGovernor.
 	Governor = experiments.GovernorID
+	// ForecastKind is a typed bandwidth-forecast identifier; see
+	// ParseForecast.
+	ForecastKind = experiments.ForecastKind
 	// ABR is a typed adaptation-algorithm identifier; see ParseABR.
 	ABR = experiments.ABRID
 	// Tracer receives a run's structured event stream; see RunConfig.Tracer
@@ -137,6 +140,20 @@ const (
 	NetConst8 = experiments.NetConst8
 	// NetTrace replays a recorded bandwidth trace (RunConfig.BWTrace).
 	NetTrace = experiments.NetTrace
+)
+
+// Bandwidth-forecast kinds accepted by RunConfig.Forecast; requires a
+// low-water mark (WithLowWater / RunConfig.LowWaterSec).
+const (
+	// ForecastNone disables forecasting: the player keeps the reactive
+	// low-water burst trigger.
+	ForecastNone = experiments.ForecastNone
+	// ForecastOracle is the perfect forecast derived from the run's own
+	// bandwidth model.
+	ForecastOracle = experiments.ForecastOracle
+	// ForecastNoisy is the oracle degraded by seeded multiplicative error
+	// (RunConfig.ForecastRelErr); deterministic, so still cacheable.
+	ForecastNoisy = experiments.ForecastNoisy
 )
 
 // Common time spans.
@@ -203,6 +220,15 @@ func Nets() []NetKind { return experiments.NetKinds() }
 // return an error matching ErrUnknownNet.
 func ParseNet(name string) (NetKind, error) { return experiments.ParseNetKind(name) }
 
+// Forecasts returns every non-empty forecast kind Run accepts, in report
+// order.
+func Forecasts() []ForecastKind { return experiments.ForecastKinds() }
+
+// ParseForecast validates a forecast-kind name from an untrusted source.
+// The empty string parses as ForecastNone (forecasting off, Run's
+// default); unknown names return an error matching ErrUnknownForecast.
+func ParseForecast(name string) (ForecastKind, error) { return experiments.ParseForecastKind(name) }
+
 // Typed sentinel errors; distinguish with errors.Is.
 var (
 	// ErrUnknownGovernor reports a governor name outside Governors().
@@ -211,6 +237,8 @@ var (
 	ErrUnknownABR = experiments.ErrUnknownABR
 	// ErrUnknownNet reports a network-profile name outside Nets().
 	ErrUnknownNet = experiments.ErrUnknownNet
+	// ErrUnknownForecast reports a forecast-kind name outside Forecasts().
+	ErrUnknownForecast = experiments.ErrUnknownForecast
 	// ErrInvalidConfig reports a RunConfig rejected by validation before
 	// any simulation state was built.
 	ErrInvalidConfig = experiments.ErrInvalidConfig

@@ -28,7 +28,7 @@ func TestFacadeCatalogs(t *testing.T) {
 	if len(Resolutions()) != 4 {
 		t.Fatalf("resolutions = %d", len(Resolutions()))
 	}
-	if len(ExperimentIDs()) != 29 {
+	if len(ExperimentIDs()) != 30 {
 		t.Fatalf("experiments = %d", len(ExperimentIDs()))
 	}
 	govs := GovernorNames()
